@@ -1,0 +1,60 @@
+"""Ablation A7: flat vs Horner-factorized polynomial evaluation.
+
+The compiled fringe polynomial can be evaluated term by term (flat) or
+with a shared-prefix (multivariate Horner) plan that multiplies each
+common prefix once. Both produce identical per-row values; this ablation
+measures the float-pass cost on a fringe-heavy pattern where the
+polynomial has thousands of terms.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.fringe_poly import compile_fringe_polynomial
+from repro.patterns import catalog
+from repro.patterns.decompose import decompose
+
+
+@pytest.fixture(scope="module")
+def workload():
+    pat = catalog.fig4_pattern().with_fringe((0,), 4)  # tail-heavy: many terms
+    dec = decompose(pat)
+    anch, k = dec.anchor_bitsets()
+    poly = compile_fringe_polynomial(anch, k, dec.q)
+    venns = np.random.default_rng(3).integers(0, 40, size=(20_000, 1 << dec.q)).astype(np.int64)
+    return poly, venns
+
+
+def test_flat_eval(benchmark, workload, results_dir):
+    poly, venns = workload
+    out = benchmark(lambda: poly._per_row_float(venns))
+    _record(results_dir, "flat", benchmark.stats.stats.mean, poly.num_terms)
+
+
+def test_horner_eval(benchmark, workload, results_dir):
+    poly, venns = workload
+    out = benchmark(lambda: poly.per_row_float_horner(venns))
+    _record(results_dir, "horner", benchmark.stats.stats.mean, poly.num_terms)
+
+
+def test_identical_values(workload):
+    poly, venns = workload
+    flat = poly._per_row_float(venns)
+    horner = poly.per_row_float_horner(venns)
+    assert np.allclose(flat, horner, equal_nan=True)
+
+
+def test_plan_shares_prefixes(workload):
+    poly, _ = workload
+    plan = poly.horner_plan()
+    shared = sum(lcp for lcp, _ in plan)
+    assert shared > 0  # lex-sorted terms must share some prefixes
+
+
+def _record(results_dir, key, seconds, terms):
+    path = results_dir / "ablation_horner.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[key] = {"mean_seconds": seconds, "terms": terms}
+    path.write_text(json.dumps(data, indent=1))

@@ -1,0 +1,76 @@
+"""Ablation A2: the §3.3 alternative — IEP vs the Venn-subtract formula.
+
+The paper tried the inclusion–exclusion principle and found it "very
+efficient in simpler cases" but worse once patterns carry multiple fringe
+types. This ablation measures both on the same inputs: single-type
+patterns (k-stars, diamonds) where IEP is competitive, and multi-type
+patterns (tailed diamonds) where the fringe formula wins because IEP must
+fall back to enumerating the extra types.
+"""
+
+import json
+
+import pytest
+
+from repro import count_subgraphs
+from repro.baselines import IEPCounter
+from repro.graph import datasets
+from repro.patterns import catalog
+
+SINGLE_TYPE = {
+    "4-star": catalog.star(4),
+    "diamond": catalog.diamond(),
+}
+MULTI_TYPE = {
+    "tailed diamond": catalog.core_with_fringes("edge", [((0, 1), 2), ((0,), 1)]),
+    "2-tailed diamond": catalog.core_with_fringes(
+        "edge", [((0, 1), 2), ((0,), 1), ((1,), 1)]
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return datasets.make("rmat16.sym", "tiny")
+
+
+@pytest.mark.parametrize("name", list(SINGLE_TYPE) + list(MULTI_TYPE))
+def test_iep_vs_fringe(benchmark, graph, name, results_dir):
+    pattern = {**SINGLE_TYPE, **MULTI_TYPE}[name]
+    iep = IEPCounter(pattern)
+
+    import time
+
+    t0 = time.perf_counter()
+    iep_count = iep.count(graph).count
+    iep_s = time.perf_counter() - t0
+
+    res = benchmark.pedantic(lambda: count_subgraphs(graph, pattern), rounds=1, iterations=1)
+    assert res.count == iep_count  # both exact
+
+    path = results_dir / "ablation_iep.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[name] = {
+        "fringe_seconds": res.elapsed_s,
+        "iep_seconds": iep_s,
+        "multi_type": name in MULTI_TYPE,
+    }
+    path.write_text(json.dumps(data, indent=1))
+
+
+def test_multi_type_favors_fringe(graph):
+    """IEP's relative cost grows when a second fringe type appears."""
+    import time
+
+    def ratio(pattern):
+        t0 = time.perf_counter()
+        IEPCounter(pattern).count(graph)
+        iep_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        count_subgraphs(graph, pattern)
+        fringe_s = time.perf_counter() - t0
+        return iep_s / fringe_s
+
+    single = ratio(SINGLE_TYPE["diamond"])
+    multi = ratio(MULTI_TYPE["2-tailed diamond"])
+    assert multi > single, (single, multi)

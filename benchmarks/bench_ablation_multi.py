@@ -1,0 +1,63 @@
+"""Ablation A6: multi-pattern batching vs independent counting.
+
+Counting the whole Fig. 3 family (k-tailed triangles) shares the core
+search and the Venn batches across members; this measures the saving
+against running the general engine once per member. Counts must match
+exactly, member for member.
+"""
+
+import json
+
+import pytest
+
+from repro import count_subgraphs
+from repro.core.multi import MultiPatternCounter
+from repro.graph import datasets
+from repro.patterns import catalog
+
+FAMILY = {f"{k}-tailed": catalog.k_tailed_triangle(k) for k in range(1, 6)}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return datasets.make("rmat16.sym", "tiny")
+
+
+def test_multi_shared_pass(benchmark, graph, results_dir):
+    mpc = MultiPatternCounter(FAMILY)
+    results = benchmark.pedantic(lambda: mpc.count_all(graph), rounds=1, iterations=1)
+    _record(results_dir, "shared", benchmark.stats.stats.mean)
+    for name, pattern in FAMILY.items():
+        assert results[name].count == count_subgraphs(graph, pattern).count
+
+
+def test_individual_passes(benchmark, graph, results_dir):
+    def run():
+        return {
+            name: count_subgraphs(graph, pattern, engine="general").count
+            for name, pattern in FAMILY.items()
+        }
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    _record(results_dir, "individual", benchmark.stats.stats.mean)
+    assert len(counts) == len(FAMILY)
+
+
+def test_shared_is_faster(graph):
+    import time
+
+    t0 = time.perf_counter()
+    MultiPatternCounter(FAMILY).count_all(graph)
+    shared = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for pattern in FAMILY.values():
+        count_subgraphs(graph, pattern, engine="general")
+    individual = time.perf_counter() - t0
+    assert shared < individual
+
+
+def _record(results_dir, key, seconds):
+    path = results_dir / "ablation_multi.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[key] = {"seconds": seconds}
+    path.write_text(json.dumps(data, indent=1))

@@ -1,0 +1,70 @@
+"""Ablation A4: Venn-diagram implementations.
+
+Compares the four interchangeable implementations — dict reference,
+NumPy sort-reduce, the paper's later-stack binary-search-with-correction
+scheme (§3.6), and the batched sort-reduce used by the poly engine —
+on identical anchor workloads from a high-degree input.
+"""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.venn import venn_batch, venn_hash, venn_merge, venn_sorted
+from repro.graph import datasets
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = datasets.make("kron_g500-logn20", "tiny")
+    rng = random.Random(7)
+    n = graph.num_vertices
+    anchors = [rng.sample(range(n), 3) for _ in range(600)]
+    return graph, anchors
+
+
+@pytest.mark.parametrize(
+    "impl", [venn_hash, venn_sorted, venn_merge], ids=["hash", "sorted", "merge"]
+)
+def test_venn_scalar_impl(benchmark, workload, impl, results_dir):
+    graph, anchors = workload
+
+    def run():
+        out = 0
+        for a in anchors:
+            out += sum(impl(graph, a, a))
+        return out
+
+    total = benchmark(run)
+    _record(results_dir, impl.__name__, benchmark.stats.stats.mean, total)
+
+
+def test_venn_batched(benchmark, workload, results_dir):
+    graph, anchors = workload
+    arr = np.asarray(anchors, dtype=np.int64)
+
+    def run():
+        return int(venn_batch(graph, arr, arr).sum())
+
+    total = benchmark(run)
+    _record(results_dir, "venn_batch", benchmark.stats.stats.mean, total)
+
+
+def test_all_impls_agree(workload):
+    graph, anchors = workload
+    arr = np.asarray(anchors[:50], dtype=np.int64)
+    batched = venn_batch(graph, arr, arr)
+    for i, a in enumerate(anchors[:50]):
+        ref = venn_hash(graph, a, a)
+        assert venn_sorted(graph, a, a) == ref
+        assert venn_merge(graph, a, a) == ref
+        assert batched[i].tolist() == ref
+
+
+def _record(results_dir, name, mean_s, checksum):
+    path = results_dir / "ablation_venn.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[name] = {"mean_seconds": mean_s, "checksum": int(checksum)}
+    path.write_text(json.dumps(data, indent=1))

@@ -1,0 +1,80 @@
+"""Fig. 8: throughput for patterns with a 1-vertex core (k-stars).
+
+Paper shape to reproduce: Fringe-SGC is fastest and ~flat in k; the
+enumerative systems decay sharply with k (they must visit every star) and
+start timing out; geomean speedups over GraphSet grow from ~1.6x at
+2-stars to ~19x at 6-stars.
+"""
+
+import pytest
+
+from repro.bench import render_figure, render_speedups, run_figure, save_figure, workloads as W
+
+
+@pytest.fixture(scope="module")
+def figure(tiny_inputs, results_dir):
+    res = run_figure(
+        "fig08-vertex-core",
+        W.fig08_patterns(),
+        tiny_inputs,
+        W.ALL_SYSTEMS,
+        timeout_s=3.0,
+    )
+    save_figure(res, results_dir / "fig08.json")
+    print()
+    print(render_figure(res))
+    print(render_speedups(res, over="graphset-like"))
+    return res
+
+
+def test_fig08_full_sweep(figure, benchmark, tiny_inputs, results_dir):
+    """The whole figure as one benchmark (it already loops internally)."""
+    res = benchmark.pedantic(
+        lambda: run_figure(
+            "fig08-vertex-core",
+            W.fig08_patterns(),
+            tiny_inputs,
+            ("fringe-sgc",),
+            timeout_s=3.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(m.status == "ok" for m in res.measurements)
+
+
+def test_fig08_shape(figure):
+    """Who wins, and how the gap trends with k."""
+    stars = list(W.fig08_patterns())
+    for star in stars:
+        fringe = figure.geomean_throughput("fringe-sgc", star)
+        assert fringe is not None and fringe > 0
+        for other in ("graphset-like", "stmatch-like", "tdfs-like"):
+            tp = figure.geomean_throughput(other, star)
+            if tp is not None:
+                assert fringe > tp, (star, other)
+    # the speedup over graphset grows with k (paper: 1.64x -> 18.76x)
+    first = figure.speedup(stars[0], over="graphset-like")
+    last_available = [
+        figure.speedup(s, over="graphset-like")
+        for s in stars
+        if figure.speedup(s, over="graphset-like") is not None
+    ]
+    assert first is not None and last_available[-1] > first
+
+
+def test_fig08_enumerators_decay_then_dnf(figure):
+    """STMatch-like throughput decays with k until it cannot finish."""
+    stars = list(W.fig08_patterns())
+    tps = [figure.geomean_throughput("stmatch-like", s) for s in stars]
+    seen_none = False
+    prev = None
+    for tp in tps:
+        if tp is None:
+            seen_none = True
+            continue
+        assert not seen_none, "throughput reappeared after DNF"
+        if prev is not None:
+            assert tp < prev, "enumerator should slow down as k grows"
+        prev = tp
+    assert seen_none, "largest stars must exceed the budget (as in the paper)"

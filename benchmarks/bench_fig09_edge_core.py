@@ -1,0 +1,60 @@
+"""Fig. 9: throughput for patterns with a 2-vertex (edge) core.
+
+Paper shape: Fringe-SGC near-constant as fringes are added up to the
+7-vertex limit of the other codes; the others decay. Geomean speedups
+1.07–4.7x over GraphSet, 42–465x over STMatch, 2–664x over T-DFS.
+"""
+
+import pytest
+
+from repro.bench import render_figure, render_speedups, run_figure, save_figure, workloads as W
+
+
+@pytest.fixture(scope="module")
+def figure(tiny_inputs, results_dir):
+    res = run_figure(
+        "fig09-edge-core",
+        W.fig09_patterns(),
+        tiny_inputs,
+        W.ALL_SYSTEMS,
+        timeout_s=3.0,
+    )
+    save_figure(res, results_dir / "fig09.json")
+    print()
+    print(render_figure(res))
+    print(render_speedups(res, over="graphset-like"))
+    return res
+
+
+def test_fig09_full_sweep(figure, benchmark, tiny_inputs):
+    res = benchmark.pedantic(
+        lambda: run_figure(
+            "fig09-edge-core", W.fig09_patterns(), tiny_inputs, ("fringe-sgc",), timeout_s=10.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(m.status == "ok" for m in res.measurements)
+
+
+def test_fig09_fringe_near_constant(figure):
+    """Fringe-SGC throughput varies far less than the enumerators' as
+    fringes are added to the edge core."""
+    pats = list(W.fig09_patterns())
+    fringe = [figure.geomean_throughput("fringe-sgc", p) for p in pats]
+    assert all(tp is not None for tp in fringe)
+    spread = max(fringe) / min(fringe)
+    stm = [figure.geomean_throughput("stmatch-like", p) for p in pats]
+    stm_ok = [tp for tp in stm if tp is not None]
+    stm_spread = max(stm_ok) / min(stm_ok)
+    assert spread < stm_spread, (spread, stm_spread)
+
+
+def test_fig09_fringe_wins_on_fringe_heavy(figure):
+    """On the most fringe-heavy pattern every other system is slower or
+    DNF (the paper's Fig. 9 right edge)."""
+    heaviest = list(W.fig09_patterns())[-1]
+    fringe = figure.geomean_throughput("fringe-sgc", heaviest)
+    for other in ("graphset-like", "stmatch-like", "tdfs-like"):
+        tp = figure.geomean_throughput(other, heaviest)
+        assert tp is None or tp < fringe

@@ -1,0 +1,55 @@
+"""Fig. 11: throughput for patterns with a wedge core.
+
+Paper shape: like the triangle core — 0.6x to 4.35x vs GraphSet, 89-535x
+vs STMatch, 41-156x vs T-DFS, with the benefit growing with fringe count.
+"""
+
+import pytest
+
+from repro.bench import render_figure, render_speedups, run_figure, save_figure, workloads as W
+
+
+@pytest.fixture(scope="module")
+def figure(tiny_inputs, results_dir):
+    res = run_figure(
+        "fig11-wedge-core",
+        W.fig11_patterns(),
+        tiny_inputs,
+        W.ALL_SYSTEMS,
+        timeout_s=5.0,
+    )
+    save_figure(res, results_dir / "fig11.json")
+    print()
+    print(render_figure(res))
+    print(render_speedups(res, over="graphset-like"))
+    return res
+
+
+def test_fig11_full_sweep(figure, benchmark, tiny_inputs):
+    res = benchmark.pedantic(
+        lambda: run_figure(
+            "fig11-wedge-core",
+            W.fig11_patterns(),
+            tiny_inputs,
+            ("fringe-sgc",),
+            timeout_s=20.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(m.status == "ok" for m in res.measurements)
+
+
+def test_fig11_fringe_always_finishes(figure):
+    for p in W.fig11_patterns():
+        assert figure.geomean_throughput("fringe-sgc", p) is not None
+
+
+def test_fig11_benefit_grows(figure):
+    """Fringe-SGC's advantage over the enumerators grows as wedge fringes
+    are added to the wedge core (4-cycle -> K_{2,5})."""
+    series = ["4-cycle", "k23", "k24", "k25"]
+    speedups = [figure.speedup(p, over="stmatch-like") for p in series]
+    known = [s for s in speedups if s is not None]
+    if len(known) >= 2:
+        assert known[-1] > known[0]

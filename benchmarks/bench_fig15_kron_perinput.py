@@ -1,0 +1,68 @@
+"""Fig. 15: per-input detail on kron_g500-logn20 across all core types.
+
+Paper shape on this input (highest average degree, widest degree
+distribution): Fringe-SGC wins on *every* pattern — 1.06-240x over
+GraphSet, 7.8-2334x over STMatch, 2-961x over T-DFS — and its throughput
+drops only when a *core* vertex is added, not a fringe vertex.
+"""
+
+import pytest
+
+from repro.bench import render_figure, render_speedups, run_figure, save_figure, workloads as W
+
+
+@pytest.fixture(scope="module")
+def figure(kron_tiny, results_dir):
+    res = run_figure(
+        "fig15-kron-perinput",
+        W.fig15_patterns(),
+        {"kron_g500-logn20": kron_tiny},
+        W.ALL_SYSTEMS,
+        timeout_s=5.0,
+    )
+    save_figure(res, results_dir / "fig15.json")
+    print()
+    print(render_figure(res))
+    for other in ("graphset-like", "stmatch-like", "tdfs-like"):
+        print(render_speedups(res, over=other))
+    return res
+
+
+def test_fig15_full_sweep(figure, benchmark, kron_tiny):
+    res = benchmark.pedantic(
+        lambda: run_figure(
+            "fig15-kron-perinput",
+            W.fig15_patterns(),
+            {"kron_g500-logn20": kron_tiny},
+            ("fringe-sgc",),
+            timeout_s=30.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(m.status == "ok" for m in res.measurements)
+
+
+def test_fig15_fringe_never_slower(figure):
+    """'there is not a single pattern where Fringe-SGC is slower' on this
+    input (paper §6.3)."""
+    for p in W.fig15_patterns():
+        fringe = figure.geomean_throughput("fringe-sgc", p)
+        assert fringe is not None
+        for other in ("graphset-like", "stmatch-like", "tdfs-like"):
+            tp = figure.geomean_throughput(other, p)
+            if tp is not None:
+                assert fringe >= tp, (p, other, fringe, tp)
+
+
+def test_fig15_fringe_vertices_cheaper_than_core_vertices(figure):
+    """Adding a fringe vertex (triangle -> tailed triangle) hurts
+    Fringe-SGC far less than adding a core vertex class change
+    (edge-core triangle family vs triangle-core clique family)."""
+    tri = figure.geomean_throughput("fringe-sgc", "triangle")
+    tailed = figure.geomean_throughput("fringe-sgc", "tailed triangle")
+    clique = figure.geomean_throughput("fringe-sgc", "4-clique")
+    assert tri is not None and tailed is not None and clique is not None
+    fringe_drop = tri / tailed  # add one fringe vertex
+    core_drop = tri / clique  # move to a 3-vertex core
+    assert core_drop > fringe_drop

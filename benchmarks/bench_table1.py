@@ -1,0 +1,48 @@
+"""Table 1: the input graphs and their summary statistics.
+
+Regenerates the paper's Table 1 columns (vertices, edges, d_avg, d_max)
+for the synthetic stand-ins and benchmarks the dataset construction +
+summary pipeline.
+"""
+
+import json
+
+from repro.graph import datasets
+from repro.graph.stats import summarize
+
+
+def test_table1_generation(benchmark, results_dir):
+    def build():
+        return datasets.table1("tiny")
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(rows) == 10
+
+    paper = {s.name: s for s in datasets.paper_table1()}
+    payload = []
+    for row in rows:
+        p = paper[row.name]
+        payload.append(
+            {
+                "name": row.name,
+                "kind": row.kind,
+                "source": row.source,
+                "vertices": row.vertices,
+                "edges": row.edges,
+                "avg_degree": round(row.avg_degree, 1),
+                "max_degree": row.max_degree,
+                "paper_vertices": p.vertices,
+                "paper_edges": p.edges,
+                "paper_avg_degree": p.avg_degree,
+                "paper_max_degree": p.max_degree,
+            }
+        )
+    (results_dir / "table1.json").write_text(json.dumps(payload, indent=1))
+
+    # topology-class sanity: the stand-ins must preserve the paper's
+    # degree-profile ordering (road lowest avg degree, kron most skewed)
+    by_name = {r.name: r for r in rows}
+    assert by_name["USA-road-d.NY"].avg_degree == min(r.avg_degree for r in rows)
+    assert by_name["kron_g500-logn20"].max_degree == max(r.max_degree for r in rows)
+    assert by_name["delaunay_n22"].max_degree < 40
+    assert by_name["USA-road-d.NY"].max_degree <= 4

@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Every figure benchmark saves its measurements to ``benchmarks/results/``
+as JSON; ``python -m repro.bench.report`` renders them into the tables
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def tiny_inputs():
+    from repro.bench import workloads
+
+    return workloads.ten_inputs("tiny")
+
+
+@pytest.fixture(scope="session")
+def kron_tiny():
+    from repro.graph import datasets
+
+    return datasets.make("kron_g500-logn20", "tiny")

@@ -1,0 +1,6 @@
+#!/bin/sh
+# Post-benchmark finalization: render the report from results JSONs.
+set -e
+cd "$(dirname "$0")/.."
+python -m repro.bench.report --write
+echo "report at benchmarks/results/report.md"

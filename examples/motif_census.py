@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Motif census: count every 3- and 4-vertex pattern (the paper's Fig. 1).
+
+Motif censuses drive social-network analysis (the triad census), biology
+(graphlet degree signatures), and fraud detection — the applications the
+paper's introduction cites. This example counts all eight connected
+3-/4-vertex motifs on two contrasting inputs and prints the normalized
+motif profile, showing how topology classes differ.
+
+Run:  python examples/motif_census.py
+"""
+
+from repro import count_subgraphs
+from repro.graph import datasets
+from repro.patterns import catalog
+
+
+def census(graph):
+    counts = {}
+    for name, pattern in catalog.fig1_patterns().items():
+        counts[name] = count_subgraphs(graph, pattern).count
+    return counts
+
+
+def main() -> None:
+    inputs = {
+        "internet (AS topology)": datasets.make("internet", "tiny"),
+        "coPapersDBLP (citations)": datasets.make("coPapersDBLP", "tiny"),
+        "USA-road (road map)": datasets.make("USA-road-d.NY", "tiny"),
+    }
+    names = list(catalog.fig1_patterns())
+    header = f"{'motif':<18}" + "".join(f"{n[:22]:>26}" for n in inputs)
+    print(header)
+    print("-" * len(header))
+    results = {label: census(g) for label, g in inputs.items()}
+    for motif in names:
+        row = f"{motif:<18}"
+        for label in inputs:
+            row += f"{results[label][motif]:>26,}"
+        print(row)
+
+    # clustering signature: triangles per wedge (global clustering x3)
+    print("\ntriangles / wedges (clustering signal):")
+    for label in inputs:
+        r = results[label]
+        ratio = 3 * r["triangle"] / r["wedge"] if r["wedge"] else 0.0
+        print(f"  {label:<26} {ratio:.4f}")
+    # citation graphs cluster heavily; road networks have almost no
+    # triangles; the AS topology sits in between — the paper's Table 1
+    # classes, recovered from motif counts alone.
+
+
+if __name__ == "__main__":
+    main()

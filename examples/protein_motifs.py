@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Graphlet signatures in a protein-interaction-like network.
+
+Biological network analysis counts small graphlets around proteins to
+predict function (graphlet degree signatures, cited by the paper). Hub
+proteins participate in star- and clique-like graphlets whose counts grow
+combinatorially with degree — exactly the fringe regime.
+
+This example builds a PPI-like network (a geometric graph with hub
+rewiring, the standard model for PPI topology), computes a graphlet
+signature per pattern family, and demonstrates a *large* graphlet — the
+paper's Fig. 4 pattern plus extra fringes — that only the fringe
+formulation can count.
+
+Run:  python examples/protein_motifs.py
+"""
+
+import numpy as np
+
+from repro import count_subgraphs
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+from repro.patterns import catalog
+
+
+def build_ppi_like(n: int = 800, seed: int = 11) -> CSRGraph:
+    """Geometric graph (spatial binding domains) + a few hub proteins."""
+    base = gen.random_geometric(n, 0.06, seed=seed)
+    edges = base.edge_array().tolist()
+    rng = np.random.default_rng(seed)
+    hubs = rng.integers(0, n, size=8)
+    for h in hubs:
+        for t in rng.integers(0, n, size=25):
+            if int(t) != int(h):
+                edges.append((int(h), int(t)))
+    return CSRGraph.from_edges(np.asarray(edges, dtype=np.int64))
+
+
+def main() -> None:
+    graph = build_ppi_like()
+    print(f"PPI-like network: {graph.num_vertices} proteins, {graph.num_edges} interactions")
+    print(f"max degree: {graph.max_degree()}, avg: {graph.avg_degree():.1f}")
+
+    print("\ngraphlet signature (counts per family):")
+    families = {
+        "k-star (binding hubs)": [catalog.star(k) for k in (3, 4, 5, 6)],
+        "k-tailed triangle": [catalog.k_tailed_triangle(k) for k in (1, 2, 3, 4)],
+        "cliques": [catalog.clique(k) for k in (3, 4)],
+    }
+    for family, patterns in families.items():
+        counts = [count_subgraphs(graph, p).count for p in patterns]
+        rendered = ", ".join(f"{c:,}" for c in counts)
+        print(f"  {family:<24} {rendered}")
+
+    # ------------------------------------------------------------------
+    # a graphlet beyond enumeration: Fig. 4 (16 vertices) + more fringes
+    # ------------------------------------------------------------------
+    print("\nlarge-graphlet counting (impossible for 7-vertex-limited tools):")
+    big = catalog.fig4_pattern()
+    for label, pattern in [
+        ("fig4 (16 vertices)", big),
+        ("fig4 + 4 wedge fringes (20 vertices)", big.with_fringe((0, 1), 4)),
+    ]:
+        res = count_subgraphs(graph, pattern)
+        digits = len(str(res.count))
+        print(
+            f"  {label:<38} count has {digits:>3} digits "
+            f"({res.elapsed_s:6.2f} s, {res.core_matches} core matches)"
+        )
+    # counts overflow 64-bit integers by dozens of digits; the library's
+    # residue-number-system path keeps them exact.
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Fringe-SGC: counting subgraphs with fringe vertices (SC '25 reproduction).
+
+Public entry points:
+
+* :func:`repro.count_subgraphs` — count a pattern in a graph;
+* :class:`repro.FringeCounter` — pattern-compiled counter for many graphs;
+* :mod:`repro.graph` — CSR graphs, generators, datasets, I/O;
+* :mod:`repro.patterns` — pattern type, catalog, decomposition.
+"""
+
+from .core.engine import CountResult, EngineConfig, FringeCounter, count_subgraphs
+from .core.multi import MultiPatternCounter, count_many
+from .graph.csr import CSRGraph
+from .patterns.pattern import Pattern
+from .patterns import catalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CountResult",
+    "MultiPatternCounter",
+    "count_many",
+    "EngineConfig",
+    "FringeCounter",
+    "count_subgraphs",
+    "CSRGraph",
+    "Pattern",
+    "catalog",
+    "__version__",
+]

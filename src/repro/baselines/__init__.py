@@ -1,0 +1,29 @@
+"""Baseline SGC implementations: ground truth + stand-ins for the paper's
+comparison systems (STMatch, GraphSet, T-DFS)."""
+
+from .common import BaselineResult, BaselineTimeout, Deadline
+from .local_counting import LocalCounts, count_local, local_counts
+from .sampling import SampledCount, estimate_count
+from .enumerator import StackEnumerator, count_enumerator
+from .iep import IEPCounter, count_iep
+from .tdfs import TDFSCounter, count_tdfs
+from .vf2 import count_injective_maps, count_vf2
+
+__all__ = [
+    "BaselineResult",
+    "LocalCounts",
+    "count_local",
+    "local_counts",
+    "SampledCount",
+    "estimate_count",
+    "BaselineTimeout",
+    "Deadline",
+    "StackEnumerator",
+    "count_enumerator",
+    "IEPCounter",
+    "count_iep",
+    "TDFSCounter",
+    "count_tdfs",
+    "count_injective_maps",
+    "count_vf2",
+]

@@ -1,0 +1,57 @@
+"""Shared infrastructure for the baseline SGC implementations.
+
+The paper runs every third-party code with a half-hour per-input budget
+and reports "did not finish" entries; :class:`Deadline` reproduces that
+censoring semantics, and :class:`BaselineResult` mirrors the engine's
+:class:`~repro.core.engine.CountResult` shape so the benchmark harness can
+treat all systems uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["BaselineTimeout", "Deadline", "BaselineResult"]
+
+
+class BaselineTimeout(Exception):
+    """Raised when a baseline exceeds its time budget (a DNF entry)."""
+
+    def __init__(self, engine: str, budget_s: float):
+        super().__init__(f"{engine} exceeded {budget_s:.1f}s budget")
+        self.engine = engine
+        self.budget_s = budget_s
+
+
+class Deadline:
+    """Cheap cooperative timeout: call :meth:`check` in hot loops."""
+
+    __slots__ = ("t_end", "engine", "budget_s", "_counter", "stride")
+
+    def __init__(self, budget_s: float | None, engine: str, stride: int = 4096):
+        self.budget_s = budget_s
+        self.t_end = (time.perf_counter() + budget_s) if budget_s else None
+        self.engine = engine
+        self.stride = stride
+        self._counter = 0
+
+    def check(self) -> None:
+        if self.t_end is None:
+            return
+        self._counter += 1
+        if self._counter >= self.stride:
+            self._counter = 0
+            if time.perf_counter() > self.t_end:
+                raise BaselineTimeout(self.engine, self.budget_s)
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    count: int
+    engine: str
+    elapsed_s: float
+    embeddings_visited: int
+
+    def throughput(self, graph_edges: int) -> float:
+        return graph_edges / self.elapsed_s if self.elapsed_s > 0 else float("inf")

@@ -1,0 +1,22 @@
+"""Benchmark harness: figure runners, workloads, reporting."""
+
+from .harness import FigureResult, Measurement, SYSTEMS, geomean, run_cell, run_figure
+from .plotting import ascii_chart, figure_chart
+from .reporting import load_figure, render_figure, render_speedups, save_figure
+from . import workloads
+
+__all__ = [
+    "FigureResult",
+    "Measurement",
+    "SYSTEMS",
+    "geomean",
+    "run_cell",
+    "run_figure",
+    "ascii_chart",
+    "figure_chart",
+    "load_figure",
+    "render_figure",
+    "render_speedups",
+    "save_figure",
+    "workloads",
+]

@@ -1,0 +1,204 @@
+"""Benchmark harness: run (system × pattern × graph) cells like the paper.
+
+The paper's §6 methodology: run each SGC system on each input graph with a
+per-run time budget (half an hour there; configurable and much smaller
+here), report throughput = graph edges / seconds (higher is better),
+aggregate across the ten inputs with the geometric mean, and mark systems
+that exceed the budget as "did not finish" — those cells are excluded the
+way the paper drops codes "where more than one input times out".
+
+Every cell also cross-checks the returned count against the fringe
+engine's, so a benchmark run doubles as an end-to-end correctness test.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..baselines import (
+    BaselineTimeout,
+    IEPCounter,
+    StackEnumerator,
+    TDFSCounter,
+)
+from ..core.engine import EngineConfig, FringeCounter, count_subgraphs
+from ..graph.csr import CSRGraph
+from ..patterns.pattern import Pattern
+
+__all__ = ["Measurement", "CellResult", "SYSTEMS", "run_cell", "run_figure", "geomean", "FigureResult"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    system: str
+    pattern: str
+    graph: str
+    status: str  # "ok" | "dnf" | "unsupported"
+    count: int | None
+    seconds: float | None
+    edges: int
+
+    @property
+    def throughput(self) -> float | None:
+        """Edges per second (the paper's normalized §6 metric)."""
+        if self.status != "ok" or not self.seconds:
+            return None
+        return self.edges / self.seconds
+
+
+# ----------------------------------------------------------------------
+# systems under test
+# ----------------------------------------------------------------------
+def _fringe_runner(pattern: Pattern):
+    counter = None
+
+    def run(graph: CSRGraph, timeout_s: float) -> int | None:
+        nonlocal counter
+        res = count_subgraphs(graph, pattern)
+        return res.count
+
+    return run
+
+
+def _baseline_runner(cls):
+    def make(pattern: Pattern):
+        try:
+            counter = cls(pattern)
+        except ValueError:
+            return None  # pattern unsupported (size limit)
+
+        def run(graph: CSRGraph, timeout_s: float) -> int | None:
+            return counter.count(graph, timeout_s=timeout_s).count
+
+        return run
+
+    return make
+
+
+SYSTEMS: dict[str, Callable[[Pattern], Callable | None]] = {
+    "fringe-sgc": lambda pat: _fringe_runner(pat),
+    "graphset-like": _baseline_runner(IEPCounter),
+    "tdfs-like": _baseline_runner(TDFSCounter),
+    "stmatch-like": _baseline_runner(StackEnumerator),
+}
+
+
+def run_cell(
+    system: str,
+    pattern: Pattern,
+    pattern_name: str,
+    graph: CSRGraph,
+    graph_name: str,
+    *,
+    timeout_s: float = 10.0,
+) -> Measurement:
+    """One (system, pattern, graph) measurement with DNF semantics."""
+    runner = SYSTEMS[system](pattern)
+    if runner is None:
+        return Measurement(system, pattern_name, graph_name, "unsupported", None, None, graph.num_edges)
+    start = time.perf_counter()
+    try:
+        count = runner(graph, timeout_s)
+    except BaselineTimeout:
+        return Measurement(system, pattern_name, graph_name, "dnf", None, None, graph.num_edges)
+    elapsed = time.perf_counter() - start
+    if elapsed > timeout_s:
+        # the fringe engine has no cooperative deadline; censor post hoc
+        return Measurement(system, pattern_name, graph_name, "dnf", None, None, graph.num_edges)
+    return Measurement(system, pattern_name, graph_name, "ok", count, elapsed, graph.num_edges)
+
+
+def geomean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v is not None and v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass
+class FigureResult:
+    """All measurements of one figure plus derived summary rows."""
+
+    figure: str
+    measurements: list[Measurement] = field(default_factory=list)
+
+    def geomean_throughput(self, system: str, pattern_name: str) -> float | None:
+        cells = [
+            m
+            for m in self.measurements
+            if m.system == system and m.pattern == pattern_name
+        ]
+        if not cells:
+            return None
+        # paper: drop a system from a pattern when >1 input times out
+        dnf = sum(1 for m in cells if m.status != "ok")
+        if dnf > 1:
+            return None
+        tps = [m.throughput for m in cells if m.throughput]
+        return geomean(tps) if tps else None
+
+    def speedup(self, pattern_name: str, over: str, of: str = "fringe-sgc") -> float | None:
+        a = self.geomean_throughput(of, pattern_name)
+        b = self.geomean_throughput(over, pattern_name)
+        if a is None or b is None or b == 0:
+            return None
+        return a / b
+
+    def systems(self) -> list[str]:
+        return sorted({m.system for m in self.measurements})
+
+    def patterns(self) -> list[str]:
+        seen: list[str] = []
+        for m in self.measurements:
+            if m.pattern not in seen:
+                seen.append(m.pattern)
+        return seen
+
+    def verify_counts_agree(self) -> None:
+        """Every ok cell of one (pattern, graph) must report one count."""
+        by_key: dict[tuple[str, str], set[int]] = {}
+        for m in self.measurements:
+            if m.status == "ok":
+                by_key.setdefault((m.pattern, m.graph), set()).add(m.count)
+        for key, counts in by_key.items():
+            if len(counts) != 1:
+                raise AssertionError(f"count disagreement on {key}: {sorted(counts)}")
+
+
+def run_figure(
+    figure: str,
+    patterns: dict[str, Pattern],
+    graphs: dict[str, CSRGraph],
+    systems: Sequence[str],
+    *,
+    timeout_s: float = 10.0,
+) -> FigureResult:
+    """Full sweep for one figure; counts are cross-checked.
+
+    Mirrors the paper's reporting rule while saving wall clock: once a
+    (system, pattern) series has two DNF inputs it is dropped from the
+    figure anyway, so its remaining cells are marked DNF without running.
+    """
+    result = FigureResult(figure=figure)
+    for pattern_name, pattern in patterns.items():
+        dnf_count = {system: 0 for system in systems}
+        for graph_name, graph in graphs.items():
+            for system in systems:
+                if dnf_count[system] > 1:
+                    result.measurements.append(
+                        Measurement(
+                            system, pattern_name, graph_name, "dnf", None, None, graph.num_edges
+                        )
+                    )
+                    continue
+                cell = run_cell(
+                    system, pattern, pattern_name, graph, graph_name, timeout_s=timeout_s
+                )
+                if cell.status == "dnf":
+                    dnf_count[system] += 1
+                result.measurements.append(cell)
+    result.verify_counts_agree()
+    return result

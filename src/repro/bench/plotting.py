@@ -1,0 +1,89 @@
+"""ASCII plots of benchmark figures (no plotting dependencies).
+
+The paper's Figures 8–15 are log-scale line charts: patterns on the
+x-axis, one series per system, throughput on the y-axis. This module
+renders the same series as a terminal chart so `python -m repro.bench.report`
+can show figure *shapes*, not just tables.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .harness import FigureResult
+
+__all__ = ["ascii_chart", "figure_chart"]
+
+_MARKERS = "o*x+#@%&"
+
+
+def ascii_chart(
+    series: dict[str, list[float | None]],
+    labels: list[str],
+    *,
+    height: int = 12,
+    title: str = "",
+    log: bool = True,
+) -> str:
+    """Render named series over shared x labels as a text chart.
+
+    ``None`` values (DNF) leave gaps. The y-axis is log10 by default,
+    matching the paper's figures.
+    """
+    if not series or not labels:
+        return "(no data)"
+    values = [v for vs in series.values() for v in vs if v is not None and v > 0]
+    if not values:
+        return "(all DNF)"
+
+    def transform(v: float) -> float:
+        return math.log10(v) if log else v
+
+    lo = min(transform(v) for v in values)
+    hi = max(transform(v) for v in values)
+    if hi - lo < 1e-9:
+        hi = lo + 1.0
+    col_width = max(max((len(x) for x in labels), default=4) + 1, 7)
+    width = col_width * len(labels)
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, vs) in enumerate(sorted(series.items())):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for xi, v in enumerate(vs):
+            if v is None or v <= 0:
+                continue
+            frac = (transform(v) - lo) / (hi - lo)
+            row = height - 1 - int(round(frac * (height - 1)))
+            col = xi * col_width + col_width // 2
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        frac = 1.0 - r / (height - 1)
+        y_val = lo + frac * (hi - lo)
+        y_label = f"1e{y_val:5.1f}" if log else f"{y_val:8.2g}"
+        lines.append(f"{y_label} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    x_axis = " " * 9
+    for lab in labels:
+        x_axis += lab[: col_width - 1].ljust(col_width)
+    lines.append(x_axis)
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(sorted(series))
+    )
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)
+
+
+def figure_chart(result: FigureResult, *, height: int = 12) -> str:
+    """Chart a :class:`FigureResult` like the paper's figures."""
+    labels = result.patterns()
+    series = {
+        system: [result.geomean_throughput(system, p) for p in labels]
+        for system in result.systems()
+    }
+    return ascii_chart(
+        series, labels, height=height, title=f"{result.figure} — edges/s (log scale)"
+    )

@@ -1,0 +1,37 @@
+"""The Fringe-SGC core: binomials, Venn diagrams, fc, matcher, engines."""
+
+from .binomial import PascalTable, nCk, nck_array
+from .engine import CountResult, EngineConfig, FringeCounter, count_subgraphs, injective_core_sum
+from .listing import CoreMatch, iter_core_matches, per_vertex_counts, top_cores
+from .multi import MultiPatternCounter, count_many
+from .fringe_count import count_fringe_choices, fc_iterative, fc_recursive
+from .matcher import CorePlan, build_plan, count_core_matches, match_cores
+from .venn import VENN_IMPLS, venn_hash, venn_merge, venn_sorted
+
+__all__ = [
+    "PascalTable",
+    "CoreMatch",
+    "iter_core_matches",
+    "per_vertex_counts",
+    "top_cores",
+    "MultiPatternCounter",
+    "count_many",
+    "nCk",
+    "nck_array",
+    "CountResult",
+    "EngineConfig",
+    "FringeCounter",
+    "count_subgraphs",
+    "injective_core_sum",
+    "count_fringe_choices",
+    "fc_iterative",
+    "fc_recursive",
+    "CorePlan",
+    "build_plan",
+    "count_core_matches",
+    "match_cores",
+    "VENN_IMPLS",
+    "venn_hash",
+    "venn_merge",
+    "venn_sorted",
+]

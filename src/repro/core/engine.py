@@ -1,0 +1,269 @@
+"""The Fringe-SGC counting engine (public API).
+
+The counting identity (DESIGN.md §1): for a pattern ``P`` with a core/
+fringe decomposition, the number of injective edge-preserving maps is
+
+```
+inj(P, G) = Σ_{ordered core embeddings φ} F_sets(venn(φ)) · Π_t k_t!
+```
+
+and the subgraph count is ``inj(P, G) / |Aut(P)|``. Running the *same*
+sum with ``G = P`` yields ``inj(P, P) = |Aut(P)|``, so
+
+```
+count(P, G) = core_sum(P, G) / core_sum(P, P)
+```
+
+where ``core_sum`` is the Σ above without the factorials (they cancel).
+This bootstraps automorphism handling from the engine itself — no group
+enumeration ever happens, which matters because fringe-heavy patterns have
+astronomically large automorphism groups (``Π k_t!`` alone).
+
+Use :func:`count_subgraphs` for one-off counts or :class:`FringeCounter`
+to amortize pattern-side preprocessing over many graphs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..graph.csr import CSRGraph
+from ..patterns.decompose import Decomposition, decompose
+from ..patterns.pattern import Pattern
+from .fringe_count import fc_iterative, fc_recursive
+from .matcher import CorePlan, build_plan, match_cores
+from .venn import VENN_IMPLS
+
+__all__ = ["EngineConfig", "CountResult", "FringeCounter", "count_subgraphs", "injective_core_sum"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs for the general engine (defaults match the paper's choices).
+
+    ``fc_impl="poly"`` selects the compiled fringe polynomial evaluated
+    over *batches* of core matches with one vectorized Venn pass per batch
+    (:func:`repro.core.venn.venn_batch`) — the data-parallel formulation
+    and the default for benchmarks. ``"recursive"``/``"iterative"`` are
+    the per-match Listing 5 ports.
+    """
+
+    venn_impl: str = "sorted"  # "hash" | "sorted" | "merge" (per-match paths)
+    fc_impl: str = "poly"  # "poly" | "recursive" | "iterative"
+    symmetry_breaking: bool = True
+    specialized: bool = True  # use closed-form engines for small cores
+    batch_size: int = 4096  # matches per vectorized batch (poly mode)
+
+    def __post_init__(self):
+        if self.venn_impl not in VENN_IMPLS:
+            raise ValueError(f"unknown venn_impl {self.venn_impl!r}")
+        if self.fc_impl not in ("recursive", "iterative", "poly"):
+            raise ValueError(f"unknown fc_impl {self.fc_impl!r}")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+
+
+@dataclass(frozen=True)
+class CountResult:
+    """A count plus the run statistics the paper reports."""
+
+    count: int
+    pattern: Pattern
+    core_matches: int  # symmetry-reduced core embeddings visited
+    elapsed_s: float
+    engine: str
+    decomposition: Decomposition | None = None
+
+    def throughput(self, graph_edges: int) -> float:
+        """Edges per second — the paper's normalized metric (§6)."""
+        return graph_edges / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+
+
+class FringeCounter:
+    """Pattern-compiled Fringe-SGC counter.
+
+    Performs all pattern-side work once (decomposition, matching order,
+    symmetry restrictions, anchor bitsets, and the ``inj(P, P)``
+    denominator) and can then count the pattern in any number of graphs.
+    """
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        *,
+        decomposition: Decomposition | None = None,
+        config: EngineConfig | None = None,
+    ):
+        if not pattern.is_connected:
+            raise ValueError("Fringe-SGC counts connected patterns")
+        self.pattern = pattern
+        self.config = config or EngineConfig()
+        if pattern.n <= 2:
+            self.decomp = None
+            self.plan = None
+            self._denominator = 1
+            return
+        self.decomp = decomposition if decomposition is not None else decompose(pattern)
+        self.plan = build_plan(self.decomp, symmetry_breaking=self.config.symmetry_breaking)
+        self._anch, self._k = self.decomp.anchor_bitsets()
+        self._anchored_positions = tuple(
+            self.decomp.matching_order.index(c) for c in self.decomp.anchored
+        )
+        self._poly = None
+        if self.config.fc_impl == "poly":
+            from .fringe_poly import compile_fringe_polynomial
+
+            self._poly = compile_fringe_polynomial(self._anch, self._k, self.decomp.q)
+        # |Aut(P)| / Π k_t!  — the fringe method run on the pattern itself
+        pattern_as_graph = CSRGraph.from_edges(pattern.edges(), num_vertices=pattern.n)
+        self._denominator = self._core_sum(pattern_as_graph)
+        if self._denominator <= 0:
+            raise AssertionError("pattern must embed in itself")
+
+    # ------------------------------------------------------------------
+    @property
+    def denominator(self) -> int:
+        """``inj(P, P) / Π k_t!`` — the normalization constant."""
+        return self._denominator
+
+    def aut_size(self) -> int:
+        """|Aut(P)| computed structurally (never by enumeration)."""
+        if self.pattern.n == 1:
+            return 1
+        if self.pattern.n == 2:
+            return 2
+        return self._denominator * self.decomp.fringe_permutation_factor()
+
+    def count(self, graph: CSRGraph, *, start_vertices: Sequence[int] | None = None) -> CountResult:
+        start = time.perf_counter()
+        if self.pattern.n == 1:
+            value, matches = graph.num_vertices, graph.num_vertices
+        elif self.pattern.n == 2:
+            value, matches = graph.num_edges, graph.num_edges
+        else:
+            sigma, matches = self._core_sum_with_stats(graph, start_vertices)
+            total = sigma * self.plan.group_order
+            value, rem = divmod(total, self._denominator)
+            if rem:
+                raise AssertionError(
+                    f"non-integral count: {total} / {self._denominator} — engine bug"
+                )
+        elapsed = time.perf_counter() - start
+        return CountResult(
+            count=value,
+            pattern=self.pattern,
+            core_matches=matches,
+            elapsed_s=elapsed,
+            engine=f"fringe-general({self.config.venn_impl},{self.config.fc_impl})",
+            decomposition=self.decomp,
+        )
+
+    def core_sum(self, graph: CSRGraph) -> int:
+        """Σ over *all* ordered core embeddings of the fringe-set count."""
+        if self.plan is None:
+            raise ValueError("core_sum is only defined for patterns with n >= 3")
+        return self._core_sum(graph)
+
+    # ------------------------------------------------------------------
+    def _core_sum(self, graph: CSRGraph) -> int:
+        sigma, _ = self._core_sum_with_stats(graph, None)
+        return sigma * self.plan.group_order
+
+    def _core_sum_with_stats(
+        self, graph: CSRGraph, start_vertices: Sequence[int] | None
+    ) -> tuple[int, int]:
+        """(Σ F_sets over symmetry-reduced core embeddings, #embeddings)."""
+        anch, k, q = self._anch, self._k, self.decomp.q
+        anchored_positions = self._anchored_positions
+        total = 0
+        matches = 0
+        if q == 0:
+            # no fringes at all: every core embedding contributes 1
+            for _ in match_cores(graph, self.plan, start_vertices=start_vertices):
+                matches += 1
+            return matches, matches
+
+        if self._poly is not None:
+            from .venn import venn_batch
+            import numpy as np
+
+            bs = self.config.batch_size
+            buf: list[tuple[int, ...]] = []
+            for match in match_cores(graph, self.plan, start_vertices=start_vertices):
+                matches += 1
+                buf.append(match)
+                if len(buf) >= bs:
+                    total += self._flush_batch(graph, buf)
+                    buf.clear()
+            if buf:
+                total += self._flush_batch(graph, buf)
+            return total, matches
+
+        venn_fn = VENN_IMPLS[self.config.venn_impl]
+        fc = fc_recursive if self.config.fc_impl == "recursive" else fc_iterative
+        for match in match_cores(graph, self.plan, start_vertices=start_vertices):
+            matches += 1
+            anchors = [match[i] for i in anchored_positions]
+            venn = venn_fn(graph, anchors, match)
+            total += fc(venn, anch, k, q)
+        return total, matches
+
+    def _flush_batch(self, graph: CSRGraph, buf: list[tuple[int, ...]]) -> int:
+        from .venn import venn_batch
+        import numpy as np
+
+        core_matrix = np.asarray(buf, dtype=np.int64)
+        anchor_matrix = core_matrix[:, list(self._anchored_positions)]
+        venns = venn_batch(graph, anchor_matrix, core_matrix)
+        return self._poly.evaluate_batch(venns)
+
+
+def injective_core_sum(graph: CSRGraph, decomp: Decomposition, *, config: EngineConfig | None = None) -> int:
+    """Σ over all ordered core embeddings of F_sets (module-level helper).
+
+    Multiplied by ``Π k_t!`` this equals ``inj(P, G)``. Used by tests and
+    by :func:`repro.patterns.automorphisms.aut_size_structural`.
+    """
+    counter = FringeCounter(decomp.pattern, decomposition=decomp, config=config)
+    return counter._core_sum(graph)
+
+
+def count_subgraphs(
+    graph: CSRGraph,
+    pattern: Pattern,
+    *,
+    engine: str = "auto",
+    decomposition: Decomposition | None = None,
+    config: EngineConfig | None = None,
+) -> CountResult:
+    """Count edge-induced embeddings of ``pattern`` in ``graph``.
+
+    ``engine``:
+
+    * ``"auto"`` — specialized closed-form engines for 1-/2-vertex cores
+      (paper §3.4 "specialized code for patterns with small cores"), the
+      general engine otherwise;
+    * ``"general"`` — always the general matcher + Venn + fc pipeline;
+    * ``"specialized"`` — require a specialized engine (raises if none).
+    """
+    cfg = config or EngineConfig()
+    if engine not in ("auto", "general", "specialized"):
+        raise ValueError(f"unknown engine {engine!r}")
+
+    if pattern.n <= 2 or engine == "general":
+        return FringeCounter(pattern, decomposition=decomposition, config=cfg).count(graph)
+
+    from . import specialized
+
+    decomp = decomposition if decomposition is not None else decompose(pattern)
+    if cfg.specialized or engine == "specialized":
+        special = specialized.dispatch(decomp)
+        if special is not None:
+            return special(graph)
+        if engine == "specialized":
+            raise ValueError(
+                f"no specialized engine for a {decomp.num_core}-vertex core"
+            )
+    return FringeCounter(pattern, decomposition=decomp, config=cfg).count(graph)

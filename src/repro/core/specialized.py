@@ -1,0 +1,407 @@
+"""Specialized counting engines for small cores (paper §3.4).
+
+The paper invokes dedicated code for patterns whose core has one, two, or
+three vertices:
+
+* 1 vertex  — the k-star formula ``Σ_v C(d_v, k)`` evaluated on the degree
+  *histogram* (exact big-int arithmetic over unique degrees only);
+* 2 vertices — the closed-form §3.1 double summation, vectorized with
+  NumPy over every edge at once (the data-parallel formulation the CUDA
+  kernel uses); per-edge values that could exceed float64's exact-integer
+  range are recomputed with Python big ints;
+* 3 vertices — dedicated wedge/triangle instance enumeration with one
+  shared Venn diagram per instance and an fc evaluation per role
+  assignment.
+
+Each engine divides by the same structural normalizer as the general
+engine: the identical sum evaluated on the pattern itself.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..patterns.decompose import Decomposition
+from .binomial import nCk, nck_array
+from .engine import CountResult
+from .fringe_count import fc_recursive
+
+__all__ = ["dispatch", "VertexCoreEngine", "EdgeCoreEngine", "ThreeCoreEngine", "common_neighbor_counts"]
+
+_EXACT_LIMIT = float(1 << 52)  # above this, float64 loses integer exactness
+
+
+def dispatch(decomp: Decomposition) -> Callable[[CSRGraph], CountResult] | None:
+    """Return a specialized engine for ``decomp``, or None if only the
+    general engine applies."""
+    p = decomp.num_core
+    if p == 1:
+        return VertexCoreEngine(decomp)
+    if p == 2:
+        return EdgeCoreEngine(decomp)
+    if p == 3:
+        return ThreeCoreEngine(decomp)
+    return None
+
+
+# ----------------------------------------------------------------------
+# 1-vertex core: k-stars
+# ----------------------------------------------------------------------
+class VertexCoreEngine:
+    """``count = Σ_v C(d_v, k) / denom`` via the degree histogram."""
+
+    name = "fringe-specialized(vertex-core)"
+
+    def __init__(self, decomp: Decomposition):
+        if decomp.num_core != 1:
+            raise ValueError("VertexCoreEngine needs a 1-vertex core")
+        if decomp.num_fringe_types > 1:
+            raise AssertionError("1-vertex core can only carry one fringe type")
+        self.decomp = decomp
+        self.k = decomp.fringe_types[0].count if decomp.fringe_types else 0
+        self.denominator = self._sum_over(decomp.pattern.degrees())
+
+    def _sum_over(self, degrees) -> int:
+        hist = np.bincount(np.asarray(degrees, dtype=np.int64))
+        return sum(
+            int(cnt) * math.comb(d, self.k) for d, cnt in enumerate(hist.tolist()) if cnt
+        )
+
+    def __call__(self, graph: CSRGraph) -> CountResult:
+        start = time.perf_counter()
+        total = self._sum_over(graph.degrees)
+        value, rem = divmod(total, self.denominator)
+        if rem:
+            raise AssertionError("non-integral k-star count")
+        matches = int(np.count_nonzero(graph.degrees >= self.k))
+        return CountResult(
+            count=value,
+            pattern=self.decomp.pattern,
+            core_matches=matches,
+            elapsed_s=time.perf_counter() - start,
+            engine=self.name,
+            decomposition=self.decomp,
+        )
+
+
+# ----------------------------------------------------------------------
+# 2-vertex core: §3.1 closed form over all edges
+# ----------------------------------------------------------------------
+class EdgeCoreEngine:
+    """Vectorized §3.1 formula.
+
+    With ``a`` tails on core vertex 0, ``b`` tails on core vertex 1, and
+    ``m`` wedge fringes, a matched ordered edge (u, v) contributes
+
+    ``F = Σ_i C(n_u, a−i) C(n_uv, i) Σ_j C(n_v, b−j) C(n_uv−i, j)
+            C(n_uv−i−j, m)``
+
+    where ``n_u = d_u − 1 − c``, ``n_v = d_v − 1 − c``, ``n_uv = c`` and
+    ``c`` is the number of common neighbours of u and v.
+    """
+
+    name = "fringe-specialized(edge-core)"
+
+    def __init__(self, decomp: Decomposition):
+        if decomp.num_core != 2:
+            raise ValueError("EdgeCoreEngine needs a 2-vertex core")
+        if not decomp.core_pattern.has_edge(0, 1):
+            raise ValueError("2-vertex core must be connected (an edge)")
+        self.decomp = decomp
+        deco = decomp.decoration()
+        self.a = deco.get(frozenset({0}), 0)
+        self.b = deco.get(frozenset({1}), 0)
+        self.m = deco.get(frozenset({0, 1}), 0)
+        self.denominator = self._pattern_denominator()
+
+    # -- scalar exact evaluation --------------------------------------
+    def _f_exact(self, nu: int, nv: int, c: int) -> int:
+        a, b, m = self.a, self.b, self.m
+        total = 0
+        for i in range(a + 1):
+            left = nCk(nu, a - i) * nCk(c, i)
+            if left == 0:
+                continue
+            inner = 0
+            for j in range(b + 1):
+                inner += nCk(nv, b - j) * nCk(c - i, j) * nCk(c - i - j, m)
+            total += left * inner
+        return total
+
+    def _pattern_denominator(self) -> int:
+        """inj(P, P) / Π k_t! — evaluate the same sum on the pattern."""
+        pat_graph = CSRGraph.from_edges(self.decomp.pattern.edges(), num_vertices=self.decomp.pattern.n)
+        edges = pat_graph.edge_array()
+        c = common_neighbor_counts(pat_graph, edges)
+        deg = pat_graph.degrees
+        total = 0
+        for (u, v), cc in zip(edges.tolist(), c.tolist()):
+            nu = int(deg[u]) - 1 - cc
+            nv = int(deg[v]) - 1 - cc
+            total += self._f_exact(nu, nv, cc) + self._f_exact(nv, nu, cc)
+        if total <= 0:
+            raise AssertionError("pattern must embed in itself")
+        return total
+
+    # -- vectorized evaluation ----------------------------------------
+    def _f_vector(self, nu: np.ndarray, nv: np.ndarray, c: np.ndarray) -> np.ndarray:
+        a, b, m = self.a, self.b, self.m
+        total = np.zeros(len(nu), dtype=np.float64)
+        for i in range(a + 1):
+            left = nck_array(nu, a - i) * nck_array(c, i)
+            inner = np.zeros_like(total)
+            for j in range(b + 1):
+                inner += nck_array(nv, b - j) * nck_array(c - i, j) * nck_array(c - i - j, m)
+            total += left * inner
+        return total
+
+    def __call__(self, graph: CSRGraph) -> CountResult:
+        start = time.perf_counter()
+        edges = graph.edge_array()
+        deg = graph.degrees
+        c = common_neighbor_counts(graph, edges)
+        nu = deg[edges[:, 0]] - 1 - c
+        nv = deg[edges[:, 1]] - 1 - c
+        with np.errstate(over="ignore", invalid="ignore"):
+            fwd = self._f_vector(nu, nv, c)
+            rev = self._f_vector(nv, nu, c)
+            per_edge = fwd + rev
+        # negated comparison so NaN rows (inf * 0 on extreme hubs) fall
+        # into the exact path instead of silently passing as "safe"
+        risky = ~(per_edge < _EXACT_LIMIT)
+        total = int(np.rint(per_edge[~risky]).astype(np.int64).sum(dtype=np.object_))
+        if np.any(risky):
+            for idx in np.nonzero(risky)[0].tolist():
+                cu, cv, cc = int(nu[idx]), int(nv[idx]), int(c[idx])
+                total += self._f_exact(cu, cv, cc) + self._f_exact(cv, cu, cc)
+        value, rem = divmod(total, self.denominator)
+        if rem:
+            raise AssertionError("non-integral edge-core count")
+        return CountResult(
+            count=value,
+            pattern=self.decomp.pattern,
+            core_matches=2 * len(edges),
+            elapsed_s=time.perf_counter() - start,
+            engine=self.name,
+            decomposition=self.decomp,
+        )
+
+
+def common_neighbor_counts(graph: CSRGraph, edges: np.ndarray) -> np.ndarray:
+    """``c[e]`` = number of common neighbours of the endpoints of edge e.
+
+    Uses a sparse A·A product when the graph is small enough for the
+    intermediate to be cheap, else per-edge sorted-list intersection.
+    """
+    n = graph.num_vertices
+    if len(edges) == 0:
+        return np.zeros(0, dtype=np.int64)
+    if n <= 20_000:
+        from scipy.sparse import csr_matrix
+
+        a = csr_matrix(
+            (np.ones(len(graph.colidx), dtype=np.int64), graph.colidx, graph.rowptr),
+            shape=(n, n),
+        )
+        sq = a @ a
+        return np.asarray(sq[edges[:, 0], edges[:, 1]]).ravel().astype(np.int64)
+    out = np.empty(len(edges), dtype=np.int64)
+    for i, (u, v) in enumerate(edges.tolist()):
+        au, av = graph.neighbors(u), graph.neighbors(v)
+        if len(au) > len(av):
+            au, av = av, au
+        pos = np.searchsorted(av, au)
+        pos = np.minimum(pos, len(av) - 1)
+        out[i] = int(np.count_nonzero(av[pos] == au))
+    return out
+
+
+# ----------------------------------------------------------------------
+# 3-vertex cores: wedge and triangle (§3.2)
+# ----------------------------------------------------------------------
+class ThreeCoreEngine:
+    """Instance-based engine for wedge and triangle cores.
+
+    Enumerates each *unordered* core instance once, computes the 7-region
+    Venn diagram of the three matched vertices once, then evaluates fc for
+    every valid role assignment (6 for a triangle core, 2 per center
+    choice for a wedge core). The sum over role assignments equals the
+    ordered-embedding sum of the general engine, so the same structural
+    normalizer applies.
+    """
+
+    name = "fringe-specialized(3-core)"
+
+    def __init__(self, decomp: Decomposition):
+        if decomp.num_core != 3:
+            raise ValueError("ThreeCoreEngine needs a 3-vertex core")
+        self.decomp = decomp
+        core = decomp.core_pattern
+        ne = core.num_edges
+        if ne == 3:
+            self.core_kind = "triangle"
+        elif ne == 2:
+            self.core_kind = "wedge"
+            self.center = next(c for c in range(3) if core.degree(c) == 2)
+        else:
+            raise ValueError("3-vertex core must be a wedge or a triangle")
+        self.deco = decomp.decoration()  # core-local anchor set -> count
+        # fringe-type tables per role assignment are precomputed lazily
+        self._fc_tables: dict[tuple[int, int, int], tuple[tuple[int, ...], tuple[int, ...]]] = {}
+        self.denominator, _ = self._sum_over_graph(
+            CSRGraph.from_edges(decomp.pattern.edges(), num_vertices=decomp.pattern.n)
+        )
+        if self.denominator <= 0:
+            raise AssertionError("pattern must embed in itself")
+
+    # ------------------------------------------------------------------
+    def _assignments(self) -> list[tuple[int, int, int]]:
+        """Role assignments: position t holds the core-local id mapped to
+        instance slot t. Triangle: all 6 permutations. Wedge: the center
+        slot (slot 1) must hold the core's center."""
+        import itertools
+
+        if self.core_kind == "triangle":
+            return list(itertools.permutations(range(3)))
+        ends = [c for c in range(3) if c != self.center]
+        return [
+            (ends[0], self.center, ends[1]),
+            (ends[1], self.center, ends[0]),
+        ]
+
+    def _table_for(self, assignment: tuple[int, int, int]):
+        """(anch, k) arrays for fc under a role assignment: bit s of the
+        Venn index refers to instance slot s."""
+        key = assignment
+        tbl = self._fc_tables.get(key)
+        if tbl is None:
+            slot_of = {c: s for s, c in enumerate(assignment)}
+            pairs = []
+            for anchors, count in self.deco.items():
+                bits = 0
+                for c in anchors:
+                    bits |= 1 << slot_of[c]
+                pairs.append((bits, count))
+            pairs.sort()
+            tbl = (tuple(p[0] for p in pairs), tuple(p[1] for p in pairs))
+            self._fc_tables[key] = tbl
+        return tbl
+
+    def _polynomials(self):
+        """Unique (polynomial, multiplicity) pairs over role assignments.
+
+        Role assignments related by a decoration-preserving core symmetry
+        produce identical (anch, k) tables; deduplicating them evaluates
+        each distinct polynomial once and scales by its multiplicity.
+        """
+        from .fringe_poly import compile_fringe_polynomial
+
+        if not hasattr(self, "_polys"):
+            groups: dict[tuple, int] = {}
+            for asg in self._assignments():
+                groups[self._table_for(asg)] = groups.get(self._table_for(asg), 0) + 1
+            self._polys = [
+                (compile_fringe_polynomial(anch, k, 3), mult)
+                for (anch, k), mult in groups.items()
+            ]
+        return self._polys
+
+    def _sum_over_graph(self, graph: CSRGraph, batch: int = 8192) -> tuple[int, int]:
+        from .venn import venn_batch
+
+        polys = self._polynomials()
+        total = 0
+        instances = 0
+        if self.core_kind == "triangle":
+            chunks = _triangle_batches(graph, batch)
+        else:
+            chunks = _wedge_batches(graph, batch)
+        for arr in chunks:
+            instances += len(arr)
+            venns = venn_batch(graph, arr, arr)
+            for poly, mult in polys:
+                total += mult * poly.evaluate_batch(venns)
+        return total, instances
+
+    def __call__(self, graph: CSRGraph) -> CountResult:
+        start = time.perf_counter()
+        total, instances = self._sum_over_graph(graph)
+        value, rem = divmod(total, self.denominator)
+        if rem:
+            raise AssertionError("non-integral 3-core count")
+        return CountResult(
+            count=value,
+            pattern=self.decomp.pattern,
+            core_matches=instances,
+            elapsed_s=time.perf_counter() - start,
+            engine=self.name,
+            decomposition=self.decomp,
+        )
+
+
+def _triangle_batches(graph: CSRGraph, batch: int):
+    """Yield (B, 3) arrays of triangles (u < v < w), each triangle once."""
+    rowptr, colidx = graph.rowptr, graph.colidx
+    buf: list[np.ndarray] = []
+    filled = 0
+    for u in range(graph.num_vertices):
+        adj_u = colidx[rowptr[u] : rowptr[u + 1]]
+        fwd_u = adj_u[adj_u > u]
+        for v in fwd_u.tolist():
+            adj_v = colidx[rowptr[v] : rowptr[v + 1]]
+            fwd_v = adj_v[adj_v > v]
+            if len(fwd_v) == 0:
+                continue
+            ws = fwd_u[np.isin(fwd_u, fwd_v, assume_unique=True)]
+            ws = ws[ws > v]
+            if len(ws) == 0:
+                continue
+            rows = np.empty((len(ws), 3), dtype=np.int64)
+            rows[:, 0] = u
+            rows[:, 1] = v
+            rows[:, 2] = ws
+            buf.append(rows)
+            filled += len(ws)
+            if filled >= batch:
+                yield np.concatenate(buf)
+                buf, filled = [], 0
+    if buf:
+        yield np.concatenate(buf)
+
+
+def _wedge_batches(graph: CSRGraph, batch: int):
+    """Yield (B, 3) arrays of wedges (x, center, y) with x < y, each once.
+
+    The endpoints may or may not be adjacent in the graph: edge-induced
+    embeddings only require the two core edges to be present.
+    """
+    rowptr, colidx = graph.rowptr, graph.colidx
+    buf: list[np.ndarray] = []
+    filled = 0
+    for center in range(graph.num_vertices):
+        adj = colidx[rowptr[center] : rowptr[center + 1]]
+        d = len(adj)
+        if d < 2:
+            continue
+        ii, jj = np.triu_indices(d, 1)
+        # hubs produce C(d, 2) pairs — slice them so no single buffer
+        # holds more than ~2 batches of instances
+        step = max(batch, 1)
+        for s0 in range(0, len(ii), step):
+            s1 = min(s0 + step, len(ii))
+            rows = np.empty((s1 - s0, 3), dtype=np.int64)
+            rows[:, 0] = adj[ii[s0:s1]]
+            rows[:, 1] = center
+            rows[:, 2] = adj[jj[s0:s1]]
+            buf.append(rows)
+            filled += s1 - s0
+            if filled >= batch:
+                yield np.concatenate(buf)
+                buf, filled = [], 0
+    if buf:
+        yield np.concatenate(buf)

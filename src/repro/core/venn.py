@@ -1,0 +1,218 @@
+"""Venn-diagram computation for matched cores (paper §3.4, §3.6).
+
+Given a matched core and the ``q`` core vertices that appear in at least
+one anchor set, the engine needs the sizes of the ``2^q − 1`` *disjoint*
+regions of the Venn diagram of their external-neighbour sets:
+``venn[S] = #{x : x not a matched core vertex, and x is adjacent to
+exactly the anchors in S}`` for every non-empty ``S ⊆ {0..q-1}``.
+
+The array layout matches the paper: index ``S`` is a q-bit bitset, bit
+``i`` meaning the i-th anchor vertex; element 0 is unused.
+
+Three interchangeable implementations:
+
+* :func:`venn_hash` — reference, Python dict of neighbour→bitmask;
+* :func:`venn_sorted` — NumPy sort-reduce over the concatenated adjacency
+  lists (the data-parallel formulation a GPU kernel would use);
+* :func:`venn_merge` — the paper's §3.6 scheme: for each anchor, binary
+  search the adjacency lists of anchors *later in the stack* only, then
+  computationally correct the counts ("about twice as fast as always
+  checking all adjacency lists").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["venn_hash", "venn_sorted", "venn_merge", "venn_batch", "VENN_IMPLS"]
+
+
+def venn_hash(
+    graph: CSRGraph, anchors: Sequence[int], core: Sequence[int]
+) -> list[int]:
+    """Reference implementation via a neighbour→bitmask dictionary."""
+    q = len(anchors)
+    core_set = set(int(c) for c in core)
+    mask_of: dict[int, int] = {}
+    for i, a in enumerate(anchors):
+        bit = 1 << i
+        for x in graph.neighbors(a):
+            x = int(x)
+            if x not in core_set:
+                mask_of[x] = mask_of.get(x, 0) | bit
+    venn = [0] * (1 << q)
+    for mask in mask_of.values():
+        venn[mask] += 1
+    return venn
+
+
+def venn_sorted(
+    graph: CSRGraph, anchors: Sequence[int], core: Sequence[int]
+) -> list[int]:
+    """Sort-reduce formulation: concatenate the q adjacency lists with
+    per-list bit weights, group by neighbour id, OR the bits, histogram.
+
+    This maps directly onto GPU segmented-sort + reduce-by-key primitives
+    and is the fastest CPU path for high-degree anchors.
+    """
+    q = len(anchors)
+    lists = [graph.neighbors(a) for a in anchors]
+    vals = np.concatenate(lists)
+    bits = np.concatenate(
+        [np.full(len(lst), 1 << i, dtype=np.int64) for i, lst in enumerate(lists)]
+    )
+    order = np.argsort(vals, kind="stable")
+    vals, bits = vals[order], bits[order]
+    # OR the bit weights of equal neighbour ids (they are adjacent after sort)
+    boundaries = np.empty(len(vals), dtype=bool)
+    if len(vals):
+        boundaries[0] = True
+        np.not_equal(vals[1:], vals[:-1], out=boundaries[1:])
+    uniq_vals = vals[boundaries]
+    group_ids = np.cumsum(boundaries) - 1
+    masks = np.zeros(len(uniq_vals), dtype=np.int64)
+    np.bitwise_or.at(masks, group_ids, bits)
+    # drop matched core vertices (all of them, not just anchors — §3.6)
+    core_arr = np.asarray(sorted(set(int(c) for c in core)), dtype=np.int64)
+    keep = ~np.isin(uniq_vals, core_arr, assume_unique=True)
+    venn = np.bincount(masks[keep], minlength=1 << q)
+    return venn.tolist()
+
+
+def venn_merge(
+    graph: CSRGraph, anchors: Sequence[int], core: Sequence[int]
+) -> list[int]:
+    """The paper's GPU scheme (§3.6), serialized.
+
+    For each anchor ``i`` (stack order), classify every entry ``x`` of its
+    adjacency list by binary-searching only the adjacency lists of anchors
+    ``j > i``. This assigns ``x`` the bitmask ``(1 << i) | later_bits`` and
+    would count ``x`` once per anchor it neighbours; the correction step
+    keeps only the occurrence at the *first* anchor (no earlier bit set),
+    which is exactly what restricting the search to later anchors gives us
+    for free: ``x`` is counted at anchor ``i`` iff ``i`` is its first
+    anchor. Hence one pass, no duplicate counting — the "computational
+    correction" is that anchors earlier in the stack never re-test ``x``.
+    """
+    q = len(anchors)
+    core_set = set(int(c) for c in core)
+    partial = [0] * (1 << q)
+    lists = [graph.neighbors(a) for a in anchors]
+    for i in range(q):
+        adj = lists[i]
+        if len(adj) == 0:
+            continue
+        mask = np.full(len(adj), 1 << i, dtype=np.int64)
+        for j in range(i + 1, q):  # later stack entries only
+            mask |= _member(lists[j], adj).astype(np.int64) << j
+        for x, m in zip(adj.tolist(), mask.tolist()):
+            if x not in core_set:
+                partial[m] += 1
+    return _correct_partial(partial, q)
+
+
+def _correct_partial(partial: list[int], q: int) -> list[int]:
+    """Undo the overcount from searching only later anchors.
+
+    A neighbour with true mask ``M`` was tallied once per anchor ``i ∈ M``,
+    each time under the partial mask ``M`` with bits below ``i`` cleared.
+    Processing masks by increasing lowest-set-bit lets us peel the
+    duplicates: ``venn[m] = partial[m] − Σ venn[m | B]`` over non-empty
+    ``B`` inside the bits below ``lowbit(m)``.
+    """
+    venn = [0] * (1 << q)
+    masks = sorted(range(1, 1 << q), key=lambda m: (m & -m))
+    for m in masks:
+        low = m & -m
+        below = low - 1  # bits strictly under the lowest set bit of m
+        total = partial[m]
+        # iterate non-empty subsets B of `below` (all disjoint from m)
+        b = below
+        while b:
+            total -= venn[m | b]
+            b = (b - 1) & below
+        venn[m] = total
+    return venn
+
+
+def _member(sorted_list: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Vectorized binary-search membership of ``queries`` in ``sorted_list``."""
+    if len(sorted_list) == 0:
+        return np.zeros(len(queries), dtype=bool)
+    pos = np.searchsorted(sorted_list, queries)
+    pos_clipped = np.minimum(pos, len(sorted_list) - 1)
+    return sorted_list[pos_clipped] == queries
+
+
+def venn_batch(
+    graph: CSRGraph, anchor_matrix: np.ndarray, core_matrix: np.ndarray
+) -> np.ndarray:
+    """Venn diagrams for a whole batch of matches in one sort-reduce pass.
+
+    ``anchor_matrix`` is ``(B, q)`` — the anchor vertices of B matched
+    cores; ``core_matrix`` is ``(B, p)`` — all matched core vertices (to
+    exclude). Returns ``(B, 2^q)`` region sizes.
+
+    Keys combine (match index, neighbour id) so one global sort groups
+    every match's external neighbourhood at once — the CPU analogue of the
+    warp-cooperative Venn population in §3.6, processing thousands of
+    matches per NumPy kernel launch instead of one per Python iteration.
+    """
+    b, q = anchor_matrix.shape
+    if b == 0:
+        return np.zeros((0, 1 << q), dtype=np.int64)
+    n = graph.num_vertices
+    rowptr, colidx = graph.rowptr, graph.colidx
+
+    degs = rowptr[anchor_matrix + 1] - rowptr[anchor_matrix]  # (B, q)
+    total = int(degs.sum())
+    keys = np.empty(total, dtype=np.int64)
+    bits = np.empty(total, dtype=np.int64)
+    pos = 0
+    # gather adjacency lists column by column (one anchor role at a time)
+    for j in range(q):
+        starts = rowptr[anchor_matrix[:, j]]
+        lens = degs[:, j]
+        m = int(lens.sum())
+        if m == 0:
+            continue
+        # index vector: for each match, starts[i] .. starts[i]+lens[i]
+        reps = np.repeat(np.arange(b), lens)
+        offsets = np.arange(m) - np.repeat(np.cumsum(lens) - lens, lens)
+        idx = starts[reps] + offsets
+        keys[pos : pos + m] = reps * n + colidx[idx]
+        bits[pos : pos + m] = 1 << j
+        pos += m
+    keys, bits = keys[:pos], bits[:pos]
+    order = np.argsort(keys, kind="stable")
+    keys, bits = keys[order], bits[order]
+    boundaries = np.empty(len(keys), dtype=bool)
+    if len(keys):
+        boundaries[0] = True
+        np.not_equal(keys[1:], keys[:-1], out=boundaries[1:])
+    uniq = keys[boundaries]
+    group_ids = np.cumsum(boundaries) - 1
+    masks = np.zeros(len(uniq), dtype=np.int64)
+    np.bitwise_or.at(masks, group_ids, bits)
+    match_of = uniq // n
+    # exclude matched core vertices: look their keys up among uniq
+    excl_keys = (np.arange(b, dtype=np.int64)[:, None] * n + core_matrix).ravel()
+    loc = np.searchsorted(uniq, excl_keys)
+    loc_c = np.minimum(loc, max(len(uniq) - 1, 0))
+    hit = (len(uniq) > 0) & (uniq[loc_c] == excl_keys)
+    keep = np.ones(len(uniq), dtype=bool)
+    keep[loc_c[hit]] = False
+    flat = match_of[keep] * (1 << q) + masks[keep]
+    venn = np.bincount(flat, minlength=b << q).reshape(b, 1 << q)
+    return venn
+
+
+VENN_IMPLS = {
+    "hash": venn_hash,
+    "sorted": venn_sorted,
+    "merge": venn_merge,
+}

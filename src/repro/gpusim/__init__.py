@@ -1,0 +1,31 @@
+"""SIMT warp-execution simulator for the paper's parallelization study."""
+
+from .warp import WARP_SIZE, LaneOp, WarpStats, ballot, ffs, run_warp
+from .machine import GPUMachine, MachineConfig, MachineReport
+from .counting import EdgeCoreKernel, KernelResult
+from .kernels import (
+    ballot_warp_programs,
+    naive_lane_program,
+    run_ballot_warp,
+    run_naive_warp,
+    venn_binary_search_programs,
+)
+
+__all__ = [
+    "WARP_SIZE",
+    "EdgeCoreKernel",
+    "KernelResult",
+    "LaneOp",
+    "WarpStats",
+    "ballot",
+    "ffs",
+    "run_warp",
+    "GPUMachine",
+    "MachineConfig",
+    "MachineReport",
+    "ballot_warp_programs",
+    "naive_lane_program",
+    "run_ballot_warp",
+    "run_naive_warp",
+    "venn_binary_search_programs",
+]

@@ -1,0 +1,149 @@
+"""The two search-kernel formulations the paper contrasts (§3.6).
+
+Both kernels count edge-core instances (the matched (v0, v1) pairs of a
+triangle-family pattern, i.e. v1 ∈ adj(v0), optionally with a common-
+neighbour stage) over a warp's worth of work, expressed as per-lane
+:class:`~repro.gpusim.warp.LaneOp` traces:
+
+* :func:`naive_lane_program` — Listing 6: each lane takes its own root
+  vertex and walks its own nested loops. Lanes diverge at the first
+  degree difference and the warp serializes.
+* :func:`ballot_warp_programs` — Listing 7: the whole warp cooperates on
+  one root; lanes stride the adjacency list together, ballot for
+  candidates, then process each surviving candidate with all 32 lanes.
+  All lanes execute the same pc sequence, so SIMT efficiency stays high.
+
+A third kernel models the §3.6 warp-cooperative Venn population: every
+lane binary-searches a sorted adjacency list for one element of another
+sorted list — the coalescing the paper observes ("many of the logarithmic
+steps ... yield coalesced memory accesses") emerges from address locality
+of sorted inputs, which the simulator's segment model captures.
+
+Program-counter layout (shared by both formulations so costs compare):
+pc 1x = level-1 scan, pc 2x = level-2 scan, pc 3x = intersection work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .warp import WARP_SIZE, LaneOp, WarpStats, ballot, run_warp
+
+__all__ = [
+    "naive_lane_program",
+    "ballot_warp_programs",
+    "run_naive_warp",
+    "run_ballot_warp",
+    "venn_binary_search_programs",
+]
+
+
+def _adj_span(graph: CSRGraph, v: int) -> tuple[int, int]:
+    return int(graph.rowptr[v]), int(graph.rowptr[v + 1])
+
+
+def naive_lane_program(
+    graph: CSRGraph, root: int, min_degree: int
+) -> Iterator[LaneOp]:
+    """Listing 6: one lane explores its own root's neighbourhood.
+
+    Two nested levels: v1 over adj(root) (with a degree filter), then v2
+    over adj(v1) counting v2 > v1 forward edges — the shape of a
+    triangle-core search. Each loop iteration is one op touching the
+    adjacency word it reads.
+    """
+    base = int(graph.rowptr[root])  # colidx offset; address space = word index
+    start, end = _adj_span(graph, root)
+    for i1 in range(start, end):
+        yield LaneOp(pc=10, addresses=(i1,))  # load v1
+        v1 = int(graph.colidx[i1])
+        if graph.degree(v1) < min_degree:
+            continue
+        s2, e2 = _adj_span(graph, v1)
+        for i2 in range(s2, e2):
+            yield LaneOp(pc=20, addresses=(i2,))  # load v2
+    del base
+
+
+def run_naive_warp(graph: CSRGraph, roots: Sequence[int], min_degree: int = 2) -> WarpStats:
+    """Run up to 32 roots, one per lane, under the divergence model."""
+    programs = [naive_lane_program(graph, int(r), min_degree) for r in roots[:WARP_SIZE]]
+    return run_warp(programs)
+
+
+def ballot_warp_programs(
+    graph: CSRGraph, roots: Sequence[int], min_degree: int = 2
+) -> list[Iterator[LaneOp]]:
+    """Listing 7: the warp processes each root cooperatively.
+
+    For every root: lanes stride adj(root) 32 at a time (one coalesced
+    step), ballot on the degree filter, and for each surviving candidate
+    all 32 lanes stride adj(v1) together. Every lane emits the identical
+    pc sequence — the simulator then reports full SIMT efficiency.
+    """
+    # Build the *shared* schedule once, then replay it per lane.
+    schedule: list[tuple[int, int]] = []  # (pc, base_index) per warp step
+    for root in roots:
+        start, end = _adj_span(graph, int(root))
+        for chunk in range(start, end, WARP_SIZE):
+            hi = min(chunk + WARP_SIZE, end)
+            schedule.append((10, chunk))  # strided cooperative load
+            candidates = [
+                int(v)
+                for v in graph.colidx[chunk:hi]
+                if graph.degree(int(v)) >= min_degree
+            ]
+            bal = ballot([True] * len(candidates))
+            while bal:
+                bal &= bal - 1  # one candidate processed per ballot round
+                v1 = candidates.pop(0)
+                s2, e2 = _adj_span(graph, v1)
+                for c2 in range(s2, e2, WARP_SIZE):
+                    schedule.append((20, c2))
+
+    def lane(lane_id: int) -> Iterator[LaneOp]:
+        for pc, base in schedule:
+            yield LaneOp(pc=pc, addresses=(base + lane_id,))
+
+    return [lane(i) for i in range(WARP_SIZE)]
+
+
+def run_ballot_warp(graph: CSRGraph, roots: Sequence[int], min_degree: int = 2) -> WarpStats:
+    return run_warp(ballot_warp_programs(graph, roots, min_degree))
+
+
+def venn_binary_search_programs(
+    graph: CSRGraph, anchor: int, others: Sequence[int]
+) -> list[Iterator[LaneOp]]:
+    """§3.6 Venn population: the warp classifies adj(anchor) entries.
+
+    Lane ``i`` takes adjacency entries ``i, i+32, ...`` of the anchor and
+    binary-searches each later anchor's sorted list for them. Because the
+    queried values come from a sorted chunk, the early binary-search
+    probes of the 32 lanes land in the same segments — the coalescing the
+    paper exploits. The simulator's transaction counter shows it.
+    """
+    start, end = _adj_span(graph, int(anchor))
+    entries = graph.colidx[start:end]
+    spans = [_adj_span(graph, int(o)) for o in others]
+
+    def lane(lane_id: int) -> Iterator[LaneOp]:
+        for base in range(start + lane_id, end, WARP_SIZE):
+            yield LaneOp(pc=30, addresses=(base,))  # load own entry
+            x = int(graph.colidx[base])
+            for (s, e) in spans:
+                lo, hi = s, e
+                step = 0
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    yield LaneOp(pc=40 + step, addresses=(mid,))
+                    if int(graph.colidx[mid]) < x:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                    step += 1
+
+    return [lane(i) for i in range(WARP_SIZE)]

@@ -1,0 +1,135 @@
+"""SIMT warp model: lanes, ballots, divergence, and memory coalescing.
+
+The paper's §3.6 contribution is a *parallelization strategy*: the nested
+conditional search of Listing 6 collapses warp parallelism, and the
+ballot-based rewrite of Listing 7 restores it. Wall-clock Python cannot
+exhibit that effect, so this module provides a small discrete simulator
+with the three quantities that matter on real hardware:
+
+* **warp steps** — one per issued instruction;
+* **divergence** — lanes at different program points serialize. We model
+  reconvergence with min-PC scheduling (each step executes every active
+  lane that sits at the minimum program counter, the policy real SIMT
+  hardware approximates via its reconvergence stack);
+* **memory transactions** — the addresses touched in one step cost one
+  transaction per distinct aligned segment (coalesced accesses are free
+  beyond the first).
+
+Kernels are written as per-lane Python generators yielding
+:class:`LaneOp` records; :func:`run_warp` merges 32 of them under the
+divergence model and returns :class:`WarpStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+__all__ = [
+    "WARP_SIZE",
+    "SEGMENT_BYTES",
+    "WORD_BYTES",
+    "LaneOp",
+    "WarpStats",
+    "run_warp",
+    "ballot",
+    "ffs",
+]
+
+WARP_SIZE = 32
+SEGMENT_BYTES = 128  # coalescing granularity of current NVIDIA GPUs
+WORD_BYTES = 8  # the CSR arrays are int64 in this reproduction
+
+
+@dataclass(frozen=True)
+class LaneOp:
+    """One dynamic instruction of one lane.
+
+    ``pc`` is an abstract program counter (stable across lanes for the
+    same static instruction); ``addresses`` lists global-memory words the
+    lane reads/writes at this step (empty for pure ALU work).
+    """
+
+    pc: int
+    addresses: tuple[int, ...] = ()
+
+
+@dataclass
+class WarpStats:
+    """Cost account for one warp execution."""
+
+    steps: int = 0  # issued warp instructions
+    lane_ops: int = 0  # executed lane-instructions (work)
+    mem_transactions: int = 0
+    active_lane_sum: int = 0  # Σ active lanes per step (for SIMT efficiency)
+
+    @property
+    def simt_efficiency(self) -> float:
+        """Mean fraction of the warp active per issued instruction."""
+        if self.steps == 0:
+            return 1.0
+        return self.active_lane_sum / (self.steps * WARP_SIZE)
+
+    def merge(self, other: "WarpStats") -> None:
+        self.steps += other.steps
+        self.lane_ops += other.lane_ops
+        self.mem_transactions += other.mem_transactions
+        self.active_lane_sum += other.active_lane_sum
+
+
+def _transactions(addresses: Sequence[int]) -> int:
+    """Distinct aligned segments touched by the addresses (in words)."""
+    if not addresses:
+        return 0
+    words_per_segment = SEGMENT_BYTES // WORD_BYTES
+    return len({a // words_per_segment for a in addresses})
+
+
+def run_warp(lane_programs: Sequence[Iterator[LaneOp]]) -> WarpStats:
+    """Execute up to 32 lane generators under min-PC reconvergence.
+
+    Each step: find the minimum pending ``pc`` among live lanes, execute
+    every lane sitting at it (they advance to their next op), charge one
+    warp step, and one memory transaction per distinct segment touched.
+    Lanes at other pcs stall — that is the divergence penalty.
+    """
+    if len(lane_programs) > WARP_SIZE:
+        raise ValueError(f"a warp has at most {WARP_SIZE} lanes")
+    stats = WarpStats()
+    pending: list[LaneOp | None] = []
+    programs = list(lane_programs)
+    for prog in programs:
+        pending.append(next(prog, None))
+    while True:
+        live = [op for op in pending if op is not None]
+        if not live:
+            return stats
+        pc_min = min(op.pc for op in live)
+        active = [i for i, op in enumerate(pending) if op is not None and op.pc == pc_min]
+        addresses: list[int] = []
+        for i in active:
+            addresses.extend(pending[i].addresses)
+            pending[i] = next(programs[i], None)
+        stats.steps += 1
+        stats.lane_ops += len(active)
+        stats.active_lane_sum += len(active)
+        stats.mem_transactions += _transactions(addresses)
+
+
+# ----------------------------------------------------------------------
+# warp-level primitives used by the ballot kernels
+# ----------------------------------------------------------------------
+def ballot(predicates: Sequence[bool]) -> int:
+    """``__ballot_sync``: bit i set iff lane i's predicate holds."""
+    word = 0
+    for i, p in enumerate(predicates):
+        if p:
+            word |= 1 << i
+    return word
+
+
+def ffs(word: int) -> int:
+    """``__ffs``: 1-based index of the least-significant set bit; 0 if none."""
+    if word == 0:
+        return 0
+    return (word & -word).bit_length()

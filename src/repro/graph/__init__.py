@@ -1,0 +1,16 @@
+"""Graph substrate: CSR storage, I/O, generators, datasets, statistics."""
+
+from .csr import CSRGraph
+from .build import clean_edges, compact_labels, graph_from_raw_edges
+from . import generators, datasets, io, stats
+
+__all__ = [
+    "CSRGraph",
+    "clean_edges",
+    "compact_labels",
+    "graph_from_raw_edges",
+    "generators",
+    "datasets",
+    "io",
+    "stats",
+]

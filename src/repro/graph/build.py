@@ -1,0 +1,56 @@
+"""Helpers for assembling and cleaning edge lists before CSR construction.
+
+The paper's inputs come from heterogeneous sources (SNAP, SuiteSparse,
+DIMACS, Galois) with different conventions: directed vs undirected, 0- vs
+1-based ids, duplicate arcs, self loops. Everything funnels through
+:func:`clean_edges` so each loader stays a thin format parser.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import INDEX_DTYPE, CSRGraph
+
+__all__ = ["clean_edges", "compact_labels", "graph_from_raw_edges"]
+
+
+def clean_edges(edges: np.ndarray) -> np.ndarray:
+    """Drop self loops and duplicate (including reversed) edges.
+
+    Returns an ``(m, 2)`` array with ``u < v`` per row, sorted.
+    """
+    arr = np.asarray(edges, dtype=INDEX_DTYPE)
+    if arr.size == 0:
+        return arr.reshape(0, 2)
+    lo = np.minimum(arr[:, 0], arr[:, 1])
+    hi = np.maximum(arr[:, 0], arr[:, 1])
+    keep = lo != hi
+    lo, hi = lo[keep], hi[keep]
+    if lo.size == 0:
+        return np.empty((0, 2), dtype=INDEX_DTYPE)
+    n = int(hi.max()) + 1
+    key = lo * n + hi
+    key = np.unique(key)
+    return np.column_stack([key // n, key % n])
+
+
+def compact_labels(edges: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Relabel arbitrary vertex ids to 0..k-1.
+
+    Returns ``(relabeled_edges, original_ids)`` where ``original_ids[i]`` is
+    the source id of the new vertex ``i``.
+    """
+    arr = np.asarray(edges, dtype=INDEX_DTYPE)
+    if arr.size == 0:
+        return arr.reshape(0, 2), np.empty(0, dtype=INDEX_DTYPE)
+    ids, inverse = np.unique(arr, return_inverse=True)
+    return inverse.reshape(arr.shape).astype(INDEX_DTYPE), ids
+
+
+def graph_from_raw_edges(edges: np.ndarray, *, compact: bool = False) -> CSRGraph:
+    """One-stop cleaning + CSR construction used by every loader."""
+    cleaned = clean_edges(edges)
+    if compact:
+        cleaned, _ = compact_labels(cleaned)
+    return CSRGraph.from_edges(cleaned)

@@ -1,0 +1,234 @@
+"""Registry of the paper's Table 1 inputs, backed by seeded generators.
+
+Each of the ten real inputs is mapped to a synthetic generator of the same
+topology class (see DESIGN.md §3), at three sizes:
+
+* ``tiny``  — sub-second construction, for unit/integration tests;
+* ``small`` — the default benchmark size, a few thousand to ~100k edges;
+* ``large`` — stress size for the scaling studies (still laptop friendly).
+
+``make(name, scale)`` is memoized per process so benchmark modules can all
+share one instance of each input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from . import generators as gen
+from .csr import CSRGraph
+from .stats import GraphSummary, summarize
+
+__all__ = ["DatasetSpec", "DATASETS", "dataset_names", "make", "table1", "paper_table1"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of Table 1: the real input and its synthetic stand-in."""
+
+    name: str
+    kind: str
+    source: str
+    paper_vertices: int
+    paper_edges: int
+    paper_avg_degree: float
+    paper_max_degree: int
+    builders: dict[str, Callable[[], CSRGraph]]
+
+
+def _spec(name, kind, source, pv, pe, pavg, pmax, builders) -> DatasetSpec:
+    return DatasetSpec(name, kind, source, pv, pe, pavg, pmax, builders)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        _spec(
+            "amazon0601",
+            "co-purchases",
+            "SNAP",
+            403_394,
+            2_443_408,
+            12.1,
+            2_752,
+            {
+                "tiny": lambda: gen.barabasi_albert(300, 6, seed=11),
+                "small": lambda: gen.barabasi_albert(4_000, 6, seed=11),
+                "large": lambda: gen.barabasi_albert(40_000, 6, seed=11),
+            },
+        ),
+        _spec(
+            "coPapersDBLP",
+            "publication citations",
+            "SMC",
+            540_486,
+            30_491_458,
+            56.4,
+            3_299,
+            {
+                "tiny": lambda: gen.powerlaw_cluster(250, 12, 0.7, seed=12),
+                "small": lambda: gen.powerlaw_cluster(2_500, 20, 0.7, seed=12),
+                "large": lambda: gen.powerlaw_cluster(20_000, 28, 0.7, seed=12),
+            },
+        ),
+        _spec(
+            "delaunay_n22",
+            "triangulation",
+            "SMC",
+            4_194_304,
+            25_165_738,
+            6.0,
+            23,
+            {
+                "tiny": lambda: gen.delaunay(300, seed=13),
+                "small": lambda: gen.delaunay(5_000, seed=13),
+                "large": lambda: gen.delaunay(50_000, seed=13),
+            },
+        ),
+        _spec(
+            "in-2004",
+            "web links",
+            "SMC",
+            1_382_908,
+            13_591_473,
+            19.7,
+            21_869,
+            {
+                "tiny": lambda: gen.web_copying(300, out_degree=10, seed=14),
+                "small": lambda: gen.web_copying(4_000, out_degree=10, seed=14),
+                "large": lambda: gen.web_copying(30_000, out_degree=10, seed=14),
+            },
+        ),
+        _spec(
+            "internet",
+            "Internet topology",
+            "SMC",
+            124_651,
+            193_620,
+            3.1,
+            151,
+            {
+                "tiny": lambda: gen.internet_topology(400, seed=15),
+                "small": lambda: gen.internet_topology(6_000, seed=15),
+                "large": lambda: gen.internet_topology(60_000, seed=15),
+            },
+        ),
+        _spec(
+            "kron_g500-logn20",
+            "Kronecker",
+            "SMC",
+            1_048_576,
+            89_238_804,
+            85.1,
+            131_503,
+            {
+                "tiny": lambda: gen.kronecker(8, 16, seed=16),
+                "small": lambda: gen.kronecker(12, 16, seed=16),
+                "large": lambda: gen.kronecker(15, 16, seed=16),
+            },
+        ),
+        _spec(
+            "rmat16.sym",
+            "RMAT",
+            "Galois",
+            65_536,
+            483_933,
+            14.8,
+            569,
+            {
+                "tiny": lambda: gen.rmat(8, 8, seed=17),
+                "small": lambda: gen.rmat(12, 8, seed=17),
+                "large": lambda: gen.rmat(16, 8, seed=17),
+            },
+        ),
+        _spec(
+            "soc-LiveJournal1",
+            "journal community",
+            "SNAP",
+            4_847_571,
+            85_702_474,
+            17.7,
+            20_333,
+            {
+                "tiny": lambda: gen.barabasi_albert(300, 9, seed=18),
+                "small": lambda: gen.barabasi_albert(5_000, 9, seed=18),
+                "large": lambda: gen.barabasi_albert(50_000, 9, seed=18),
+            },
+        ),
+        _spec(
+            "uk-2002",
+            "Web links",
+            "SMC",
+            18_520_486,
+            523_574_516,
+            28.3,
+            194_955,
+            {
+                "tiny": lambda: gen.web_copying(350, out_degree=14, seed=19),
+                "small": lambda: gen.web_copying(6_000, out_degree=14, seed=19),
+                "large": lambda: gen.web_copying(60_000, out_degree=14, seed=19),
+            },
+        ),
+        _spec(
+            "USA-road-d.NY",
+            "road map",
+            "Dimacs",
+            264_346,
+            730_100,
+            2.8,
+            3,
+            {
+                "tiny": lambda: gen.road_network(18, 18, keep_prob=0.7, seed=20),
+                "small": lambda: gen.road_network(80, 80, keep_prob=0.7, seed=20),
+                "large": lambda: gen.road_network(250, 250, keep_prob=0.7, seed=20),
+            },
+        ),
+    ]
+}
+
+
+def dataset_names() -> list[str]:
+    """The ten inputs, in the order of the paper's Table 1."""
+    return list(DATASETS)
+
+
+@lru_cache(maxsize=None)
+def make(name: str, scale: str = "small") -> CSRGraph:
+    """Instantiate (and memoize) a dataset stand-in.
+
+    Parameters
+    ----------
+    name:
+        A Table 1 graph name, e.g. ``"kron_g500-logn20"``.
+    scale:
+        ``"tiny"``, ``"small"``, or ``"large"``.
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; known: {dataset_names()}") from None
+    try:
+        builder = spec.builders[scale]
+    except KeyError:
+        raise KeyError(f"unknown scale {scale!r}; known: {sorted(spec.builders)}") from None
+    return builder()
+
+
+def table1(scale: str = "small") -> list[GraphSummary]:
+    """Regenerate Table 1 for the synthetic stand-ins at ``scale``."""
+    return [
+        summarize(make(spec.name, scale), spec.name, spec.kind, spec.source)
+        for spec in DATASETS.values()
+    ]
+
+
+def paper_table1() -> list[GraphSummary]:
+    """The paper's published Table 1 numbers (for side-by-side reporting)."""
+    return [
+        GraphSummary(
+            s.name, s.kind, s.source, s.paper_vertices, s.paper_edges, s.paper_avg_degree, s.paper_max_degree
+        )
+        for s in DATASETS.values()
+    ]

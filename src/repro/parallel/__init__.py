@@ -1,0 +1,18 @@
+"""Multicore parallel counting layer (dynamic/static/strided schedules)."""
+
+from .partition import Partition, ghost_width, partition_graph, partitioned_count
+from .pool import ParallelConfig, parallel_count
+from .schedule import dynamic_chunks, make_chunks, static_contiguous, static_strided
+
+__all__ = [
+    "Partition",
+    "ghost_width",
+    "partition_graph",
+    "partitioned_count",
+    "ParallelConfig",
+    "parallel_count",
+    "dynamic_chunks",
+    "make_chunks",
+    "static_contiguous",
+    "static_strided",
+]

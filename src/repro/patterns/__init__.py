@@ -1,0 +1,19 @@
+"""Pattern toolkit: pattern type, catalog, decomposition, automorphisms."""
+
+from .pattern import Pattern, all_connected_patterns
+from .decompose import Decomposition, FringeType, decompose, decomposition_from_core
+from . import automorphisms, catalog, dsl, isomorphism, orbits
+
+__all__ = [
+    "Pattern",
+    "all_connected_patterns",
+    "Decomposition",
+    "FringeType",
+    "decompose",
+    "decomposition_from_core",
+    "automorphisms",
+    "catalog",
+    "isomorphism",
+    "dsl",
+    "orbits",
+]

@@ -1,0 +1,277 @@
+"""Named patterns: everything the paper draws or evaluates.
+
+* Fig. 1 — all connected 3- and 4-vertex patterns;
+* Fig. 3 — k-tailed triangles;
+* Fig. 4 — the 16-vertex / 25-edge triangle-core showcase pattern;
+* §5/§6 — the systematic core+fringe families used in the evaluation
+  (vertex core, edge core, wedge core, triangle core, each with
+  incrementally added fringes).
+
+Builders return fresh :class:`~repro.patterns.pattern.Pattern` objects.
+"""
+
+from __future__ import annotations
+
+from .pattern import Pattern
+
+__all__ = [
+    "single_vertex",
+    "edge",
+    "star",
+    "wedge",
+    "triangle",
+    "path",
+    "cycle",
+    "clique",
+    "tailed_triangle",
+    "k_tailed_triangle",
+    "diamond",
+    "paw",
+    "four_cycle",
+    "four_clique",
+    "tailed_four_clique",
+    "complete_bipartite",
+    "book",
+    "friendship",
+    "fig1_patterns",
+    "fig4_pattern",
+    "core_with_fringes",
+    "vertex_core_family",
+    "edge_core_family",
+    "wedge_core_family",
+    "triangle_core_family",
+]
+
+
+# ----------------------------------------------------------------------
+# elementary patterns
+# ----------------------------------------------------------------------
+def single_vertex() -> Pattern:
+    return Pattern.single_vertex()
+
+
+def edge() -> Pattern:
+    return Pattern.from_edges([(0, 1)])
+
+
+def star(k: int) -> Pattern:
+    """k-star: hub 0 with k spokes (the 2-star is the wedge)."""
+    if k < 1:
+        raise ValueError("k-star needs k >= 1")
+    return Pattern.from_edges([(0, i) for i in range(1, k + 1)])
+
+
+def wedge() -> Pattern:
+    return star(2)
+
+
+def triangle() -> Pattern:
+    return cycle(3)
+
+
+def path(n: int) -> Pattern:
+    """Path on n vertices (n - 1 edges)."""
+    if n < 2:
+        raise ValueError("path needs n >= 2")
+    return Pattern.from_edges([(i, i + 1) for i in range(n - 1)])
+
+
+def cycle(n: int) -> Pattern:
+    if n < 3:
+        raise ValueError("cycle needs n >= 3")
+    return Pattern.from_edges([(i, (i + 1) % n) for i in range(n)])
+
+
+def clique(n: int) -> Pattern:
+    if n < 2:
+        raise ValueError("clique needs n >= 2")
+    return Pattern.from_edges([(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def complete_bipartite(m: int, n: int) -> Pattern:
+    """K_{m,n}: sides 0..m-1 and m..m+n-1. For m = 2 this is the wedge
+    core carrying n wedge fringes (the Fig. 11 K_{2,k} family)."""
+    if m < 1 or n < 1:
+        raise ValueError("complete bipartite needs m, n >= 1")
+    return Pattern.from_edges([(i, m + j) for i in range(m) for j in range(n)])
+
+
+def book(pages: int) -> Pattern:
+    """The 'book' B_k: an edge core with k wedge fringes (k triangles
+    sharing one edge) — the purest fringe-scaling pattern."""
+    if pages < 1:
+        raise ValueError("book needs >= 1 page")
+    return core_with_fringes("edge", [((0, 1), pages)])
+
+
+def friendship(k: int) -> Pattern:
+    """The friendship graph F_k: k triangles sharing one vertex.
+
+    A stress pattern for the decomposition heuristic: the two outer
+    vertices of each triangle are adjacent, so they cannot both be
+    fringes — the heuristic must promote one per triangle into the core,
+    yielding a (k+1)-vertex core with k wedge fringes."""
+    if k < 1:
+        raise ValueError("friendship graph needs k >= 1")
+    edges = []
+    for i in range(k):
+        a, b = 1 + 2 * i, 2 + 2 * i
+        edges += [(0, a), (0, b), (a, b)]
+    return Pattern.from_edges(edges)
+
+
+# ----------------------------------------------------------------------
+# Fig. 1 / Fig. 3 patterns
+# ----------------------------------------------------------------------
+def tailed_triangle() -> Pattern:
+    """Triangle 0-1-2 with a tail vertex 3 on vertex 0 (the 'paw')."""
+    return Pattern.from_edges([(0, 1), (1, 2), (0, 2), (0, 3)])
+
+
+paw = tailed_triangle
+
+
+def k_tailed_triangle(k: int) -> Pattern:
+    """Triangle with k tails on one vertex (Fig. 3's k-tailed triangles)."""
+    edges = [(0, 1), (1, 2), (0, 2)]
+    edges.extend((0, 3 + i) for i in range(k))
+    return Pattern.from_edges(edges)
+
+
+def diamond() -> Pattern:
+    """Edge core {0,1} plus two wedge fringes — K4 minus an edge."""
+    return Pattern.from_edges([(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)])
+
+
+def four_cycle() -> Pattern:
+    return cycle(4)
+
+
+def four_clique() -> Pattern:
+    return clique(4)
+
+
+def tailed_four_clique(tails: int = 1) -> Pattern:
+    """4-clique with ``tails`` tail vertices on vertex 0 (§6.1, Fig. 10)."""
+    edges = clique(4).edges()
+    edges.extend((0, 4 + i) for i in range(tails))
+    return Pattern.from_edges(edges)
+
+
+def fig1_patterns() -> dict[str, Pattern]:
+    """All connected 3- and 4-vertex patterns, as drawn in Fig. 1."""
+    return {
+        "wedge": wedge(),
+        "triangle": triangle(),
+        "3-star": star(3),
+        "4-path": path(4),
+        "tailed triangle": tailed_triangle(),
+        "4-cycle": four_cycle(),
+        "diamond": diamond(),
+        "4-clique": four_clique(),
+    }
+
+
+# ----------------------------------------------------------------------
+# systematic core + fringe construction (§5, §6.2)
+# ----------------------------------------------------------------------
+_CORES = {
+    "vertex": Pattern.single_vertex(),
+    "edge": edge(),
+    "wedge": wedge(),
+    "triangle": triangle(),
+}
+
+
+def core_with_fringes(core: str | Pattern, fringes: list[tuple[tuple[int, ...], int]]) -> Pattern:
+    """Build ``core`` plus fringes: each ``(anchors, count)`` adds ``count``
+    fringe vertices adjacent to exactly ``anchors`` (core vertex ids).
+
+    Example: ``core_with_fringes("edge", [((0,), 2), ((0, 1), 1)])`` is the
+    2-tailed triangle.
+    """
+    pat = _CORES[core] if isinstance(core, str) else core
+    for anchors, count in fringes:
+        if count:
+            pat = pat.with_fringe(anchors, count)
+    return pat
+
+
+def fig4_pattern() -> Pattern:
+    """The paper's Fig. 4 showcase: 16 vertices, 25 edges, triangle core.
+
+    Reconstructed from the figure description (the figure itself names
+    tri-fringes O and P): triangle core {0,1,2} carrying 2 tri-fringes,
+    5 wedge fringes (2 on {0,1}, 2 on {0,2}, 1 on {1,2}), and 6 tails
+    (2 per core vertex):  3 + 13 vertices, 3 + 2·3 + 5·2 + 6·1 = 25 edges.
+    """
+    pat = core_with_fringes(
+        "triangle",
+        [
+            ((0, 1, 2), 2),  # tri-fringes (vertices O and P)
+            ((0, 1), 2),
+            ((0, 2), 2),
+            ((1, 2), 1),
+            ((0,), 2),
+            ((1,), 2),
+            ((2,), 2),
+        ],
+    )
+    assert pat.n == 16 and pat.num_edges == 25
+    return pat
+
+
+def vertex_core_family(max_fringes: int = 6) -> dict[str, Pattern]:
+    """1-vertex-core patterns of §6.1/Fig. 8: k-stars, k = 2..max_fringes."""
+    return {f"{k}-star": star(k) for k in range(2, max_fringes + 1)}
+
+
+def edge_core_family() -> dict[str, Pattern]:
+    """2-vertex-core patterns of Fig. 9: fringes added to all anchor sets
+    incrementally up to the third-party 7-vertex limit."""
+    fam: dict[str, Pattern] = {}
+    fam["triangle"] = core_with_fringes("edge", [((0, 1), 1)])
+    fam["tailed triangle"] = core_with_fringes("edge", [((0, 1), 1), ((0,), 1)])
+    fam["diamond"] = core_with_fringes("edge", [((0, 1), 2)])
+    fam["2-tailed triangle"] = core_with_fringes("edge", [((0, 1), 1), ((0,), 2)])
+    fam["tailed diamond"] = core_with_fringes("edge", [((0, 1), 2), ((0,), 1)])
+    fam["double-tailed triangle"] = core_with_fringes("edge", [((0, 1), 1), ((0,), 1), ((1,), 1)])
+    fam["3-wedge edge"] = core_with_fringes("edge", [((0, 1), 3)])
+    fam["2-tailed diamond"] = core_with_fringes("edge", [((0, 1), 2), ((0,), 1), ((1,), 1)])
+    fam["4-wedge edge"] = core_with_fringes("edge", [((0, 1), 4)])
+    fam["tailed 4-wedge"] = core_with_fringes("edge", [((0, 1), 4), ((0,), 1)])
+    fam["5-wedge edge"] = core_with_fringes("edge", [((0, 1), 5)])
+    return fam
+
+
+def wedge_core_family() -> dict[str, Pattern]:
+    """3-vertex wedge-core patterns of Fig. 11 (up to 7 vertices).
+
+    ``wedge()`` is ``star(2)``: centre 0, endpoints 1 and 2. The 4-cycle
+    is the wedge core plus one wedge fringe on the two *endpoints*.
+    """
+    w = wedge()
+    ends = (1, 2)
+    fam: dict[str, Pattern] = {}
+    fam["4-cycle"] = core_with_fringes(w, [(ends, 1)])
+    fam["tailed 4-cycle"] = core_with_fringes(w, [(ends, 1), ((0,), 1)])
+    fam["k23"] = core_with_fringes(w, [(ends, 2)])
+    fam["2-tailed 4-cycle"] = core_with_fringes(w, [(ends, 1), ((0,), 2)])
+    fam["tailed k23"] = core_with_fringes(w, [(ends, 2), ((0,), 1)])
+    fam["k24"] = core_with_fringes(w, [(ends, 3)])
+    fam["k25"] = core_with_fringes(w, [(ends, 4)])
+    return fam
+
+
+def triangle_core_family() -> dict[str, Pattern]:
+    """Triangle-core patterns of Fig. 10 (up to 7 vertices)."""
+    t = triangle()
+    fam: dict[str, Pattern] = {}
+    fam["4-clique"] = core_with_fringes(t, [((0, 1, 2), 1)])
+    fam["tailed 4-clique"] = core_with_fringes(t, [((0, 1, 2), 1), ((0,), 1)])
+    fam["5-clique-minus"] = core_with_fringes(t, [((0, 1, 2), 2)])
+    fam["2-tailed 4-clique"] = core_with_fringes(t, [((0, 1, 2), 1), ((0,), 2)])
+    fam["wedged 4-clique"] = core_with_fringes(t, [((0, 1, 2), 1), ((0, 1), 1)])
+    fam["3-tailed 4-clique"] = core_with_fringes(t, [((0, 1, 2), 1), ((0,), 1), ((1,), 1), ((2,), 1)])
+    fam["3-trifringe triangle"] = core_with_fringes(t, [((0, 1, 2), 3)])
+    return fam

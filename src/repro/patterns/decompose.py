@@ -1,0 +1,328 @@
+"""Core/fringe decomposition of a pattern (paper §3.4).
+
+Definitions (paper §3):
+
+* **core** — a minimal connected subset of pattern vertices such that all
+  non-core vertices are only connected to core vertices;
+* **fringe vertex** — any non-core vertex (hence adjacent only to core
+  vertices, never to another fringe);
+* **anchor set** — the core vertices a fringe is attached to. Fringes with
+  the same anchor set form one *fringe type* (tail = 1 anchor, wedge = 2,
+  tri-fringe = 3, ...).
+
+The decomposition heuristic follows the paper verbatim: process vertices in
+increasing degree order; an unprocessed degree-d vertex whose neighbours
+contain no fringe becomes a fringe and promotes its neighbours to the core;
+if the resulting core is disconnected, fringe vertices along shortest paths
+between core components are moved into the core.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .pattern import Pattern
+
+__all__ = ["FringeType", "Decomposition", "decompose", "decomposition_from_core"]
+
+
+@dataclass(frozen=True)
+class FringeType:
+    """All fringes sharing one anchor set."""
+
+    anchors: frozenset[int]  # pattern-space core vertex ids
+    count: int
+    fringe_vertices: tuple[int, ...]
+
+    @property
+    def arity(self) -> int:
+        """1 = tail, 2 = wedge fringe, 3 = tri-fringe, ..."""
+        return len(self.anchors)
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """A validated core/fringe split plus everything the engine needs.
+
+    ``core_vertices`` is sorted; ``core_local[v]`` maps a pattern vertex id
+    to its index in ``core_vertices`` (core-local id). ``core_pattern`` is
+    the induced subpattern on the core, in core-local ids.
+
+    ``matching_order`` lists core-local ids most-constrained-first while
+    keeping every prefix connected (paper §3.6). ``anchored`` lists, in
+    matching-order position, the core-local ids that appear in at least one
+    anchor set — the ``q`` vertices whose Venn diagram must be computed.
+    """
+
+    pattern: Pattern
+    core_vertices: tuple[int, ...]
+    fringe_types: tuple[FringeType, ...]
+    core_pattern: Pattern = field(init=False)
+    core_local: dict[int, int] = field(init=False)
+    matching_order: tuple[int, ...] = field(init=False)
+    anchored: tuple[int, ...] = field(init=False)
+
+    def __post_init__(self):
+        _validate(self.pattern, self.core_vertices, self.fringe_types)
+        core_local = {v: i for i, v in enumerate(self.core_vertices)}
+        object.__setattr__(self, "core_local", core_local)
+        object.__setattr__(self, "core_pattern", self.pattern.induced(self.core_vertices))
+        order = _matching_order(self.pattern, self.core_pattern, self.core_vertices)
+        object.__setattr__(self, "matching_order", order)
+        anchored_set = set()
+        for ft in self.fringe_types:
+            anchored_set.update(core_local[a] for a in ft.anchors)
+        anchored = tuple(c for c in order if c in anchored_set)
+        object.__setattr__(self, "anchored", anchored)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_core(self) -> int:
+        return len(self.core_vertices)
+
+    @property
+    def q(self) -> int:
+        """Number of core vertices that belong to at least one anchor set."""
+        return len(self.anchored)
+
+    @property
+    def num_fringe_types(self) -> int:
+        return len(self.fringe_types)
+
+    @property
+    def num_fringes(self) -> int:
+        return sum(ft.count for ft in self.fringe_types)
+
+    def fringe_permutation_factor(self) -> int:
+        """``Π_t k_t!`` — converts per-type set choices to ordered choices."""
+        import math
+
+        out = 1
+        for ft in self.fringe_types:
+            out *= math.factorial(ft.count)
+        return out
+
+    def anchor_bitsets(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """(anch, k) arrays for the fc function (paper Listing 5).
+
+        ``anch[t]`` is the anchor set of fringe type ``t`` encoded as a
+        q-bit bitset: bit ``i`` is the i-th entry of ``self.anchored``
+        (matching-order position of the anchored vertices, paper §3.4).
+        Types are sorted by bitset for determinism.
+        """
+        bit_of = {c: i for i, c in enumerate(self.anchored)}
+        pairs = []
+        for ft in self.fringe_types:
+            bits = 0
+            for a in ft.anchors:
+                bits |= 1 << bit_of[self.core_local[a]]
+            pairs.append((bits, ft.count))
+        pairs.sort()
+        anch = tuple(p[0] for p in pairs)
+        k = tuple(p[1] for p in pairs)
+        return anch, k
+
+    def decoration(self) -> dict[frozenset[int], int]:
+        """Anchor set (in core-local ids) -> fringe count."""
+        return {
+            frozenset(self.core_local[a] for a in ft.anchors): ft.count
+            for ft in self.fringe_types
+        }
+
+    def __repr__(self) -> str:
+        types = ", ".join(
+            f"{sorted(ft.anchors)}x{ft.count}" for ft in self.fringe_types
+        )
+        return (
+            f"Decomposition(core={list(self.core_vertices)}, "
+            f"fringes=[{types}], q={self.q})"
+        )
+
+
+def decompose(pattern: Pattern) -> Decomposition:
+    """Split ``pattern`` into core and fringes with the paper's heuristic."""
+    n = pattern.n
+    if n == 0:
+        raise ValueError("empty pattern")
+    if not pattern.is_connected:
+        raise ValueError("pattern must be connected")
+    if n == 1:
+        return decomposition_from_core(pattern, [0])
+
+    CORE, FRINGE = 1, 2
+    state = [0] * n  # 0 = unprocessed
+    max_deg = max(pattern.degrees())
+    for d in range(1, max_deg + 1):
+        for v in range(n):
+            if state[v] != 0 or pattern.degree(v) != d:
+                continue
+            if any(state[w] == FRINGE for w in pattern.adj[v]):
+                # a neighbour is already a fringe, so v must be core
+                state[v] = CORE
+                continue
+            state[v] = FRINGE
+            for w in pattern.adj[v]:
+                state[w] = CORE
+
+    core = {v for v in range(n) if state[v] == CORE}
+    if not core:
+        # all vertices became fringes is impossible (marking a fringe
+        # promotes its neighbours), but a 1-vertex pattern reaches here
+        core = {0}
+
+    core = _reconnect(pattern, core)
+    return decomposition_from_core(pattern, sorted(core))
+
+
+def decomposition_from_core(pattern: Pattern, core_vertices: Iterable[int]) -> Decomposition:
+    """Build a decomposition from an explicitly chosen core.
+
+    Any valid core works with the counting formula; tests exploit this to
+    check that alternative cores yield identical counts (the paper notes
+    the core is not unique, §3).
+    """
+    core = sorted(set(int(v) for v in core_vertices))
+    core_set = set(core)
+    groups: dict[frozenset[int], list[int]] = {}
+    for v in range(pattern.n):
+        if v in core_set:
+            continue
+        anchors = frozenset(pattern.adj[v])
+        groups.setdefault(anchors, []).append(v)
+    fringe_types = tuple(
+        FringeType(anchors=anchors, count=len(vs), fringe_vertices=tuple(vs))
+        for anchors, vs in sorted(groups.items(), key=lambda kv: sorted(kv[0]))
+    )
+    return Decomposition(pattern, tuple(core), fringe_types)
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+def _validate(pattern: Pattern, core_vertices: tuple[int, ...], fringe_types) -> None:
+    core_set = set(core_vertices)
+    if not core_set:
+        raise ValueError("core must be non-empty")
+    if any(v < 0 or v >= pattern.n for v in core_set):
+        raise ValueError("core vertex out of range")
+    covered = set(core_set)
+    for ft in fringe_types:
+        if not ft.anchors or not ft.anchors <= core_set:
+            raise ValueError(f"anchors {sorted(ft.anchors)} not a non-empty core subset")
+        if ft.count != len(ft.fringe_vertices):
+            raise ValueError("fringe count mismatch")
+        for f in ft.fringe_vertices:
+            if f in core_set:
+                raise ValueError(f"vertex {f} is both core and fringe")
+            if pattern.adj[f] != ft.anchors:
+                raise ValueError(
+                    f"fringe {f} neighbours {sorted(pattern.adj[f])} != anchors {sorted(ft.anchors)}"
+                )
+            covered.add(f)
+    if covered != set(range(pattern.n)):
+        raise ValueError("core + fringes must cover every pattern vertex")
+    if not _is_connected_within(pattern, core_set):
+        raise ValueError("core must induce a connected subpattern")
+
+
+def _is_connected_within(pattern: Pattern, verts: set[int]) -> bool:
+    if not verts:
+        return False
+    start = next(iter(verts))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        v = frontier.pop()
+        for w in pattern.adj[v]:
+            if w in verts and w not in seen:
+                seen.add(w)
+                frontier.append(w)
+    return seen == verts
+
+
+def _reconnect(pattern: Pattern, core: set[int]) -> set[int]:
+    """Move a minimal number of fringe vertices into the core to make it
+    connected: BFS through the whole pattern between core components and
+    absorb the vertices on the shortest connecting path (paper §3.4)."""
+    core = set(core)
+    while not _is_connected_within(pattern, core):
+        component = _component_of(pattern, core, next(iter(core)))
+        path = _shortest_path_to_other_component(pattern, core, component)
+        core.update(path)
+    return core
+
+
+def _component_of(pattern: Pattern, core: set[int], start: int) -> set[int]:
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        v = frontier.pop()
+        for w in pattern.adj[v]:
+            if w in core and w not in seen:
+                seen.add(w)
+                frontier.append(w)
+    return seen
+
+
+def _shortest_path_to_other_component(
+    pattern: Pattern, core: set[int], component: set[int]
+) -> list[int]:
+    """BFS from ``component`` through any vertices to the nearest core
+    vertex outside it; returns the interior path vertices to absorb."""
+    parent: dict[int, int | None] = {v: None for v in component}
+    queue = deque(component)
+    while queue:
+        v = queue.popleft()
+        for w in pattern.adj[v]:
+            if w in parent:
+                continue
+            parent[w] = v
+            if w in core:  # reached another core component
+                path = []
+                cur: int | None = v
+                while cur is not None and cur not in component:
+                    path.append(cur)
+                    cur = parent[cur]
+                return path
+            queue.append(w)
+    raise AssertionError("pattern connected but no path between core components")
+
+
+def _matching_order(
+    pattern: Pattern, core_pattern: Pattern, core_vertices: tuple[int, ...]
+) -> tuple[int, ...]:
+    """Core-local matching order: most constrained first, prefixes connected.
+
+    'Most constrained' uses the vertex's degree in the *full* pattern (its
+    core degree plus attached fringes), since that is the degree bound the
+    matcher filters on — the paper's tailed-triangle example picks the
+    core vertex with the tail first.
+    """
+    p = core_pattern.n
+    full_degree = [pattern.degree(v) for v in core_vertices]
+    order = [max(range(p), key=lambda c: (full_degree[c], core_pattern.degree(c)))]
+    placed = set(order)
+    while len(order) < p:
+        candidates = [c for c in range(p) if c not in placed]
+        # connectivity first, then constraint strength
+        candidates.sort(
+            key=lambda c: (
+                sum(1 for w in core_pattern.adj[c] if w in placed),
+                full_degree[c],
+                core_pattern.degree(c),
+                -c,
+            ),
+            reverse=True,
+        )
+        best = candidates[0]
+        if not any(w in placed for w in core_pattern.adj[best]) and p > 1:
+            # core is connected, so some candidate must touch the prefix
+            touching = [
+                c for c in candidates if any(w in placed for w in core_pattern.adj[c])
+            ]
+            best = touching[0]
+        order.append(best)
+        placed.add(best)
+    return tuple(order)

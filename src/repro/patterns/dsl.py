@@ -1,0 +1,121 @@
+"""A small text language for user-defined patterns.
+
+Fringe-SGC counts "user-provided patterns" (§2); files and command lines
+need a concise syntax. Three forms, composable with ``+`` fringe clauses:
+
+* **named**: any catalog name — ``triangle``, ``diamond``, ``4-cycle``,
+  ``5-clique``, ``3-star``, ``6-path``, ``fig4``, ``tailed-triangle`` ...
+* **edge list**: ``edges:0-1,1-2,0-2`` (vertex ids are integers);
+* **fringe clauses**: ``<base> + <count>x<anchors>`` where anchors are
+  core vertex ids joined by ``&`` — e.g.
+  ``triangle + 2x0&1&2 + 1x0`` is the triangle with two tri-fringes and
+  a tail on vertex 0.
+
+Examples::
+
+    parse_pattern("tailed-triangle")
+    parse_pattern("edges:0-1,1-2,2-3,3-0")           # 4-cycle
+    parse_pattern("edge + 3x0&1 + 2x0")              # 3 wedges + 2 tails
+    parse_pattern("fig4 + 10x0&1")                   # the Fig. 13 series
+"""
+
+from __future__ import annotations
+
+import re
+
+from . import catalog
+from .pattern import Pattern
+
+__all__ = ["parse_pattern", "pattern_names", "PatternSyntaxError"]
+
+
+class PatternSyntaxError(ValueError):
+    """Raised on malformed pattern expressions."""
+
+
+_PARAMETRIC = {
+    "book": catalog.book,
+    "friendship": catalog.friendship,
+    "star": catalog.star,
+    "path": catalog.path,
+    "cycle": catalog.cycle,
+    "clique": catalog.clique,
+    "tailed-triangle": lambda k: catalog.k_tailed_triangle(k),
+}
+
+_NAMED = {
+    "vertex": catalog.single_vertex,
+    "edge": catalog.edge,
+    "wedge": catalog.wedge,
+    "triangle": catalog.triangle,
+    "tailed-triangle": catalog.tailed_triangle,
+    "paw": catalog.paw,
+    "diamond": catalog.diamond,
+    "4-cycle": catalog.four_cycle,
+    "4-clique": catalog.four_clique,
+    "fig4": catalog.fig4_pattern,
+}
+
+
+def pattern_names() -> list[str]:
+    """Every recognized base name (parametric ones shown with ``k-``)."""
+    return sorted(_NAMED) + [f"k-{name}" for name in sorted(_PARAMETRIC)]
+
+
+def _parse_base(token: str) -> Pattern:
+    token = token.strip().lower()
+    if token.startswith("edges:"):
+        body = token[len("edges:") :]
+        edges = []
+        for part in body.split(","):
+            m = re.fullmatch(r"\s*(\d+)\s*-\s*(\d+)\s*", part)
+            if not m:
+                raise PatternSyntaxError(f"bad edge {part!r} (want 'u-v')")
+            edges.append((int(m.group(1)), int(m.group(2))))
+        if not edges:
+            raise PatternSyntaxError("edge list is empty")
+        return Pattern.from_edges(edges)
+    if token in _NAMED:
+        return _NAMED[token]()
+    m = re.fullmatch(r"(\d+)-(\w[\w-]*)", token)
+    if m:
+        k, name = int(m.group(1)), m.group(2)
+        if name in _PARAMETRIC:
+            return _PARAMETRIC[name](k)
+        raise PatternSyntaxError(
+            f"unknown parametric pattern {name!r}; known: {sorted(_PARAMETRIC)}"
+        )
+    raise PatternSyntaxError(
+        f"unknown pattern {token!r}; known names: {pattern_names()}"
+    )
+
+
+def _parse_fringe_clause(clause: str) -> tuple[int, tuple[int, ...]]:
+    m = re.fullmatch(r"\s*(\d+)\s*x\s*([\d&\s]+)\s*", clause)
+    if not m:
+        raise PatternSyntaxError(
+            f"bad fringe clause {clause!r} (want '<count>x<v1&v2&...>')"
+        )
+    count = int(m.group(1))
+    if count < 1:
+        raise PatternSyntaxError("fringe count must be >= 1")
+    anchors = tuple(int(a) for a in m.group(2).split("&"))
+    return count, anchors
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse a pattern expression (see module docstring for the syntax)."""
+    if not text or not text.strip():
+        raise PatternSyntaxError("empty pattern expression")
+    parts = text.split("+")
+    pattern = _parse_base(parts[0])
+    for clause in parts[1:]:
+        count, anchors = _parse_fringe_clause(clause)
+        if any(a >= pattern.n or a < 0 for a in anchors):
+            raise PatternSyntaxError(
+                f"anchor out of range in {clause!r} (pattern has {pattern.n} vertices)"
+            )
+        pattern = pattern.with_fringe(anchors, count)
+    if not pattern.is_connected:
+        raise PatternSyntaxError("pattern must be connected")
+    return pattern

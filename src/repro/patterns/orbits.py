@@ -1,0 +1,62 @@
+"""Vertex orbits of a pattern under its automorphism group.
+
+Orbit structure explains the fractional core-mass semantics of the
+listing mode (two core placements related by an automorphism share one
+copy's mass) and drives orbit-aware graphlet degrees: two pattern
+vertices in the same orbit are indistinguishable roles ("leaf of a star"),
+different orbits are distinct roles ("apex vs tail of a paw").
+
+Brute-force over the automorphism group — pattern-sized inputs only.
+"""
+
+from __future__ import annotations
+
+from .isomorphism import automorphisms_of
+from .pattern import Pattern
+
+__all__ = ["vertex_orbits", "orbit_of", "num_orbits", "edge_orbits"]
+
+
+def vertex_orbits(pattern: Pattern) -> list[frozenset[int]]:
+    """Partition of the vertices into automorphism orbits (sorted by
+    smallest member)."""
+    autos = automorphisms_of(pattern)
+    seen: set[int] = set()
+    orbits: list[frozenset[int]] = []
+    for v in range(pattern.n):
+        if v in seen:
+            continue
+        orbit = frozenset(a[v] for a in autos)
+        seen.update(orbit)
+        orbits.append(orbit)
+    return orbits
+
+
+def orbit_of(pattern: Pattern, v: int) -> frozenset[int]:
+    """The orbit containing vertex ``v``."""
+    if not 0 <= v < pattern.n:
+        raise ValueError(f"vertex {v} out of range")
+    for orbit in vertex_orbits(pattern):
+        if v in orbit:
+            return orbit
+    raise AssertionError("orbits must cover every vertex")
+
+
+def num_orbits(pattern: Pattern) -> int:
+    return len(vertex_orbits(pattern))
+
+
+def edge_orbits(pattern: Pattern) -> list[frozenset[tuple[int, int]]]:
+    """Partition of the edges into automorphism orbits."""
+    autos = automorphisms_of(pattern)
+    seen: set[tuple[int, int]] = set()
+    orbits: list[frozenset[tuple[int, int]]] = []
+    for u, v in pattern.edges():
+        if (u, v) in seen:
+            continue
+        orbit = frozenset(
+            (min(a[u], a[v]), max(a[u], a[v])) for a in autos
+        )
+        seen.update(orbit)
+        orbits.append(orbit)
+    return orbits

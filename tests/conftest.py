@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+
+
+@pytest.fixture
+def k5() -> CSRGraph:
+    return gen.complete_graph(5)
+
+
+@pytest.fixture
+def petersen() -> CSRGraph:
+    """The Petersen graph — a classic with well-known subgraph counts."""
+    import networkx as nx
+
+    return CSRGraph.from_networkx(nx.petersen_graph())
+
+
+@pytest.fixture
+def fig2_graph() -> CSRGraph:
+    """The paper's Fig. 2 example: hub vertex 0 with 7 neighbours, one
+    triangle (0, 1, 2). Known counts: 1 triangle, 5 tailed triangles,
+    35 3-stars centred at vertex 0."""
+    return CSRGraph.from_edges(
+        [(0, 1), (0, 2), (1, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7)]
+    )
+
+
+@pytest.fixture
+def small_graphs() -> list[CSRGraph]:
+    """A spread of small graphs used for cross-engine checks."""
+    return [
+        gen.erdos_renyi(12, 0.35, seed=1),
+        gen.complete_graph(6),
+        gen.cycle_graph(9),
+        gen.star_graph(8),
+        gen.path_graph(7),
+        gen.barabasi_albert(16, 3, seed=3),
+        gen.grid_graph(4, 4),
+    ]
+
+
+def random_graph(n: int, p: float, seed: int) -> CSRGraph:
+    return gen.erdos_renyi(n, p, seed=seed)
+
+
+def graphs_equal(a: CSRGraph, b: CSRGraph) -> bool:
+    return np.array_equal(a.rowptr, b.rowptr) and np.array_equal(a.colidx, b.colidx)

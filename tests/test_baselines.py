@@ -1,0 +1,121 @@
+"""Tests for the baseline SGC implementations (STMatch/GraphSet/T-DFS
+stand-ins and the VF2 ground truth)."""
+
+import pytest
+
+from repro.baselines import (
+    BaselineTimeout,
+    IEPCounter,
+    StackEnumerator,
+    TDFSCounter,
+    count_enumerator,
+    count_iep,
+    count_tdfs,
+    count_vf2,
+)
+from repro.baselines.iep import signed_stirling_first
+from repro.graph import generators as gen
+from repro.patterns import catalog
+from repro.patterns.pattern import all_connected_patterns
+
+
+ALL_BASELINES = [count_enumerator, count_iep, count_tdfs]
+BASELINE_IDS = ["stmatch-like", "graphset-like", "tdfs-like"]
+
+
+class TestAgreementWithGroundTruth:
+    @pytest.mark.parametrize("count_fn", ALL_BASELINES, ids=BASELINE_IDS)
+    def test_fig1_patterns(self, small_graphs, count_fn):
+        for name, pat in catalog.fig1_patterns().items():
+            for g in small_graphs[:4]:
+                assert count_fn(g, pat).count == count_vf2(g, pat), name
+
+    @pytest.mark.parametrize("count_fn", ALL_BASELINES, ids=BASELINE_IDS)
+    def test_trivial_patterns(self, small_graphs, count_fn):
+        for g in small_graphs[:3]:
+            assert count_fn(g, catalog.single_vertex()).count == g.num_vertices
+            assert count_fn(g, catalog.edge()).count == g.num_edges
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_all_small_patterns(self, small_graphs, n):
+        for pat in all_connected_patterns(n):
+            for g in small_graphs[:3]:
+                expect = count_vf2(g, pat)
+                for fn in ALL_BASELINES:
+                    assert fn(g, pat).count == expect
+
+
+class TestPatternSizeLimits:
+    def test_seven_vertex_limit_analogue(self):
+        big = catalog.star(10)  # 11 vertices
+        with pytest.raises(ValueError, match="supports patterns up to"):
+            StackEnumerator(big)
+        with pytest.raises(ValueError):
+            TDFSCounter(big)
+
+    def test_iep_limit_counts_remaining_vertices(self):
+        # 11-vertex star: IEP eliminates all 10 spokes, leaving 1 vertex
+        IEPCounter(catalog.star(10))  # fine
+        # large clique: nothing eliminable below the limit
+        with pytest.raises(ValueError):
+            IEPCounter(catalog.clique(12))
+
+    def test_custom_limit(self):
+        StackEnumerator(catalog.star(10), max_vertices=11)
+
+
+class TestTimeout:
+    def test_enumerator_times_out(self):
+        g = gen.kronecker(9, 16, seed=1)
+        pat = catalog.star(6)
+        with pytest.raises(BaselineTimeout):
+            count_enumerator(g, pat, timeout_s=0.05)
+
+    def test_timeout_metadata(self):
+        g = gen.kronecker(9, 16, seed=1)
+        try:
+            count_enumerator(g, catalog.star(6), timeout_s=0.05)
+        except BaselineTimeout as e:
+            assert e.engine == "stmatch-like"
+            assert e.budget_s == 0.05
+
+    def test_no_timeout_when_budget_none(self, k5):
+        assert count_enumerator(k5, catalog.triangle(), timeout_s=None).count == 10
+
+
+class TestIEPInternals:
+    def test_stirling_coefficients(self):
+        # x_(3) = x^3 - 3x^2 + 2x
+        assert signed_stirling_first(3) == [0, 2, -3, 1]
+        # x_(0) = 1
+        assert signed_stirling_first(0) == [1]
+
+    def test_stirling_evaluates_falling_factorial(self):
+        import math
+
+        for k in range(1, 6):
+            coeffs = signed_stirling_first(k)
+            for c in range(0, 10):
+                val = sum(co * c**j for j, co in enumerate(coeffs))
+                expect = math.perm(c, k) if c >= k else 0
+                assert val == expect
+
+    def test_iep_eliminates_largest_type(self):
+        # 5 tails + 1 wedge on an edge core: IEP must eliminate the tails
+        pat = catalog.core_with_fringes("edge", [((0,), 5), ((0, 1), 1)])
+        counter = IEPCounter(pat)
+        assert counter.k == 5
+        assert counter.reduced.n == pat.n - 5
+
+
+class TestTDFSInternals:
+    def test_task_splitting_preserves_count(self, small_graphs):
+        for task_size in (1, 7, 1000):
+            counter = TDFSCounter(catalog.paw(), task_size=task_size)
+            for g in small_graphs[:3]:
+                assert counter.count(g).count == count_vf2(g, catalog.paw())
+
+    def test_straggler_requeue_still_exact(self):
+        g = gen.kronecker(8, 8, seed=3)
+        counter = TDFSCounter(catalog.triangle(), task_size=16, straggler_factor=0.0001)
+        assert counter.count(g).count == count_vf2(g, catalog.triangle())

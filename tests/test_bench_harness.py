@@ -1,0 +1,121 @@
+"""Tests for the benchmark harness (cells, figures, reporting)."""
+
+import math
+
+import pytest
+
+from repro.bench import (
+    FigureResult,
+    Measurement,
+    geomean,
+    load_figure,
+    render_figure,
+    render_speedups,
+    run_cell,
+    run_figure,
+    save_figure,
+)
+from repro.bench import workloads as W
+from repro.graph import generators as gen
+from repro.patterns import catalog
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {"er": gen.erdos_renyi(40, 0.2, seed=1), "ba": gen.barabasi_albert(40, 3, seed=2)}
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1, 100]) == pytest.approx(10.0)
+        assert geomean([5]) == pytest.approx(5.0)
+
+    def test_ignores_none_and_empty(self):
+        assert geomean([None, 4.0, 9.0]) == pytest.approx(6.0)
+        assert geomean([]) == 0.0
+
+
+class TestRunCell:
+    def test_ok_cell(self, graphs):
+        m = run_cell("fringe-sgc", catalog.triangle(), "triangle", graphs["er"], "er")
+        assert m.status == "ok" and m.count is not None and m.throughput > 0
+
+    def test_dnf_cell(self):
+        g = gen.kronecker(9, 16, seed=1)
+        m = run_cell("stmatch-like", catalog.star(6), "6-star", g, "kron", timeout_s=0.05)
+        assert m.status == "dnf" and m.throughput is None
+
+    def test_unsupported_cell(self, graphs):
+        m = run_cell("stmatch-like", catalog.star(12), "12-star", graphs["er"], "er")
+        assert m.status == "unsupported"
+
+
+class TestRunFigure:
+    def test_counts_cross_checked(self, graphs):
+        res = run_figure(
+            "smoke",
+            {"triangle": catalog.triangle(), "paw": catalog.paw()},
+            graphs,
+            ("fringe-sgc", "stmatch-like", "graphset-like"),
+            timeout_s=10.0,
+        )
+        res.verify_counts_agree()  # raises on disagreement
+        assert res.patterns() == ["triangle", "paw"]
+        assert set(res.systems()) == {"fringe-sgc", "stmatch-like", "graphset-like"}
+
+    def test_geomean_and_speedup(self, graphs):
+        res = run_figure(
+            "smoke", {"triangle": catalog.triangle()}, graphs, ("fringe-sgc", "stmatch-like")
+        )
+        tp = res.geomean_throughput("fringe-sgc", "triangle")
+        assert tp is not None and tp > 0
+        sp = res.speedup("triangle", over="stmatch-like")
+        assert sp is not None and sp > 0
+
+    def test_dnf_threshold_drops_system(self):
+        res = FigureResult("x")
+        for i, status in enumerate(["ok", "dnf", "dnf"]):
+            res.measurements.append(
+                Measurement("s", "p", f"g{i}", status, 1 if status == "ok" else None,
+                            0.5 if status == "ok" else None, 100)
+            )
+        # paper rule: more than one DNF input -> drop the system
+        assert res.geomean_throughput("s", "p") is None
+
+    def test_count_disagreement_detected(self):
+        res = FigureResult("x")
+        res.measurements.append(Measurement("a", "p", "g", "ok", 1, 0.1, 10))
+        res.measurements.append(Measurement("b", "p", "g", "ok", 2, 0.1, 10))
+        with pytest.raises(AssertionError, match="disagreement"):
+            res.verify_counts_agree()
+
+
+class TestReporting:
+    def test_render_and_round_trip(self, graphs, tmp_path):
+        res = run_figure(
+            "smoke", {"triangle": catalog.triangle()}, graphs, ("fringe-sgc",)
+        )
+        text = render_figure(res)
+        assert "fringe-sgc" in text and "triangle" in text
+        assert "speedup" in render_speedups(res, over="fringe-sgc")
+        path = tmp_path / "fig.json"
+        save_figure(res, path)
+        loaded = load_figure(path)
+        assert loaded.figure == res.figure
+        assert len(loaded.measurements) == len(res.measurements)
+        assert loaded.measurements[0].count == res.measurements[0].count
+
+
+class TestWorkloads:
+    def test_ten_inputs(self):
+        graphs = W.ten_inputs("tiny")
+        assert len(graphs) == 10
+
+    def test_figure_pattern_families_nonempty(self):
+        assert len(W.fig08_patterns()) == 5
+        assert len(W.fig09_patterns()) >= 8
+        assert len(W.fig10_patterns()) >= 5
+        assert len(W.fig11_patterns()) >= 5
+        assert len(W.fig12_series(10)) == 6
+        assert list(W.fig12_series(10))[-1] == "fig4+10"
+        assert len(W.fig15_patterns()) >= 7

@@ -1,0 +1,113 @@
+"""Tests that catalog patterns are the graphs they claim to be."""
+
+import pytest
+
+from repro.patterns import catalog
+from repro.patterns.decompose import decompose
+from repro.patterns.pattern import Pattern
+
+
+class TestElementary:
+    def test_star_shape(self):
+        s = catalog.star(4)
+        assert s.n == 5 and s.degree(0) == 4
+        assert all(s.degree(v) == 1 for v in range(1, 5))
+
+    def test_cycle_path_clique(self):
+        assert catalog.cycle(5).num_edges == 5
+        assert catalog.path(5).num_edges == 4
+        assert catalog.clique(5).num_edges == 10
+
+    def test_invalid_sizes(self):
+        for fn, arg in [(catalog.star, 0), (catalog.cycle, 2), (catalog.path, 1), (catalog.clique, 1)]:
+            with pytest.raises(ValueError):
+                fn(arg)
+
+
+class TestFig1:
+    def test_eight_patterns(self):
+        pats = catalog.fig1_patterns()
+        assert len(pats) == 8
+        by_n = {}
+        for p in pats.values():
+            by_n[p.n] = by_n.get(p.n, 0) + 1
+        assert by_n == {3: 2, 4: 6}  # all connected 3-/4-vertex patterns
+
+    def test_distinct_up_to_isomorphism(self):
+        pats = list(catalog.fig1_patterns().values())
+        for i in range(len(pats)):
+            for j in range(i + 1, len(pats)):
+                assert not pats[i].is_isomorphic(pats[j])
+
+    def test_diamond_is_k4_minus_edge(self):
+        d = catalog.diamond()
+        assert d.n == 4 and d.num_edges == 5
+
+    def test_paw_alias(self):
+        assert catalog.paw() == catalog.tailed_triangle()
+
+
+class TestKTailed:
+    def test_k_tailed_triangle_shape(self):
+        for k in (1, 2, 5):
+            p = catalog.k_tailed_triangle(k)
+            assert p.n == 3 + k and p.num_edges == 3 + k
+        assert catalog.k_tailed_triangle(1).is_isomorphic(catalog.tailed_triangle())
+
+
+class TestFig4:
+    def test_size_matches_paper(self):
+        p = catalog.fig4_pattern()
+        assert p.n == 16 and p.num_edges == 25
+
+    def test_triangle_core_and_fringe_census(self):
+        d = decompose(catalog.fig4_pattern())
+        assert d.num_core == 3
+        census = {}
+        for ft in d.fringe_types:
+            census[ft.arity] = census.get(ft.arity, 0) + ft.count
+        assert census == {1: 6, 2: 5, 3: 2}
+
+
+class TestFamilies:
+    def test_vertex_core_family(self):
+        fam = catalog.vertex_core_family(6)
+        assert list(fam) == ["2-star", "3-star", "4-star", "5-star", "6-star"]
+        for k, pat in enumerate(fam.values(), start=2):
+            assert decompose(pat).num_core == 1
+
+    def test_edge_core_family_cores(self):
+        for name, pat in catalog.edge_core_family().items():
+            d = decompose(pat)
+            assert d.num_core == 2, name
+            assert pat.n <= 7  # the third-party 7-vertex limit
+
+    def test_edge_core_family_known_shapes(self):
+        fam = catalog.edge_core_family()
+        assert fam["triangle"].is_isomorphic(catalog.triangle())
+        assert fam["diamond"].is_isomorphic(catalog.diamond())
+        assert fam["tailed triangle"].is_isomorphic(catalog.paw())
+
+    def test_wedge_core_family(self):
+        fam = catalog.wedge_core_family()
+        assert fam["4-cycle"].is_isomorphic(catalog.cycle(4))
+        import networkx as nx
+
+        k23 = Pattern.from_networkx(nx.complete_bipartite_graph(2, 3))
+        assert fam["k23"].is_isomorphic(k23)
+        for name, pat in fam.items():
+            d = decompose(pat)
+            assert d.num_core == 3 and d.core_pattern.num_edges == 2, name
+            assert pat.n <= 7
+
+    def test_triangle_core_family(self):
+        fam = catalog.triangle_core_family()
+        assert fam["4-clique"].is_isomorphic(catalog.clique(4))
+        for name, pat in fam.items():
+            d = decompose(pat)
+            assert d.num_core == 3 and d.core_pattern.num_edges == 3, name
+            assert pat.n <= 7
+
+    def test_core_with_fringes_zero_count_skipped(self):
+        p = catalog.core_with_fringes("edge", [((0, 1), 0)])
+        assert p.n == 2

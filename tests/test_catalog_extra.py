@@ -1,0 +1,88 @@
+"""Tests for the extended catalog patterns (K_{m,n}, books, friendship)."""
+
+import pytest
+
+from repro import count_subgraphs
+from repro.baselines.vf2 import count_vf2
+from repro.graph import generators as gen
+from repro.patterns import catalog
+from repro.patterns.decompose import decompose
+from repro.patterns.dsl import parse_pattern
+from repro.patterns.pattern import Pattern
+
+
+class TestCompleteBipartite:
+    def test_shape(self):
+        k = catalog.complete_bipartite(3, 4)
+        assert k.n == 7 and k.num_edges == 12
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        for m, n in [(1, 3), (2, 2), (2, 5), (3, 3)]:
+            ours = catalog.complete_bipartite(m, n)
+            theirs = Pattern.from_networkx(nx.complete_bipartite_graph(m, n))
+            assert ours.is_isomorphic(theirs)
+
+    def test_k2n_is_wedge_core_family(self):
+        for n in (2, 3, 4):
+            d = decompose(catalog.complete_bipartite(2, n))
+            assert d.num_core == 3 and d.core_pattern.num_edges == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            catalog.complete_bipartite(0, 3)
+
+
+class TestBook:
+    def test_book1_is_triangle(self):
+        assert catalog.book(1).is_isomorphic(catalog.triangle())
+
+    def test_book2_is_diamond(self):
+        assert catalog.book(2).is_isomorphic(catalog.diamond())
+
+    def test_decomposition(self):
+        d = decompose(catalog.book(5))
+        assert d.num_core == 2 and d.num_fringes == 5
+
+    def test_counts_match_vf2(self):
+        g = gen.erdos_renyi(14, 0.4, seed=2)
+        for k in (1, 2, 3):
+            pat = catalog.book(k)
+            assert count_subgraphs(g, pat).count == count_vf2(g, pat)
+
+
+class TestFriendship:
+    def test_shape(self):
+        f = catalog.friendship(3)
+        assert f.n == 7 and f.num_edges == 9
+        assert f.degree(0) == 6
+
+    def test_decomposition_promotes_outer_vertices(self):
+        # adjacent outer pairs cannot both be fringes
+        d = decompose(catalog.friendship(3))
+        assert d.num_core == 4
+        assert d.num_fringes == 3
+        assert all(ft.arity == 2 for ft in d.fringe_types)
+
+    def test_counts_match_vf2(self):
+        g = gen.erdos_renyi(12, 0.5, seed=4)
+        for k in (1, 2):
+            pat = catalog.friendship(k)
+            assert count_subgraphs(g, pat).count == count_vf2(g, pat)
+
+    def test_friendship_in_itself(self):
+        for k in (1, 2, 3):
+            pat = catalog.friendship(k)
+            from repro.graph.csr import CSRGraph
+
+            g = CSRGraph.from_edges(pat.edges(), num_vertices=pat.n)
+            assert count_subgraphs(g, pat).count == 1
+
+
+class TestDSLForNewPatterns:
+    def test_book(self):
+        assert parse_pattern("4-book").is_isomorphic(catalog.book(4))
+
+    def test_friendship(self):
+        assert parse_pattern("2-friendship").is_isomorphic(catalog.friendship(2))

@@ -1,0 +1,130 @@
+"""Unit tests for the CSR graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph import generators as gen
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.degree(1) == 2
+
+    def test_self_loops_dropped(self):
+        g = CSRGraph.from_edges([(0, 0), (0, 1), (1, 1)])
+        assert g.num_edges == 1
+
+    def test_duplicate_edges_dropped(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 0), (0, 1), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_num_vertices_override(self):
+        g = CSRGraph.from_edges([(0, 1)], num_vertices=5)
+        assert g.num_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_num_vertices_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges([(0, 4)], num_vertices=3)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges([(-1, 2)])
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges([], num_vertices=4)
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(np.zeros((3, 3), dtype=np.int64))
+
+    def test_adjacency_sorted(self):
+        g = CSRGraph.from_edges([(2, 0), (2, 3), (2, 1)])
+        assert g.neighbors(2).tolist() == [0, 1, 3]
+
+    def test_validation_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2]), np.array([1, 1]))
+
+    def test_validation_rejects_bad_rowptr(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0, 1]))
+
+    def test_validation_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+
+class TestQueries:
+    def test_has_edge(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (0, 3)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(2, 3)
+
+    def test_degrees(self, k5):
+        assert k5.degrees.tolist() == [4] * 5
+        assert k5.max_degree() == 4
+        assert k5.avg_degree() == pytest.approx(4.0)
+
+    def test_edge_array_each_edge_once(self, k5):
+        edges = k5.edge_array()
+        assert len(edges) == 10
+        assert np.all(edges[:, 0] < edges[:, 1])
+
+    def test_immutable_buffers(self, k5):
+        with pytest.raises(ValueError):
+            k5.colidx[0] = 99
+        with pytest.raises(ValueError):
+            k5.rowptr[0] = 1
+
+    def test_iter_and_repr(self, k5):
+        assert list(k5) == [0, 1, 2, 3, 4]
+        assert "n=5" in repr(k5)
+
+    def test_equality(self):
+        a = CSRGraph.from_edges([(0, 1), (1, 2)])
+        b = CSRGraph.from_edges([(1, 2), (0, 1)])
+        c = CSRGraph.from_edges([(0, 1), (0, 2)])
+        assert a == b
+        assert a != c
+
+
+class TestTransforms:
+    def test_subgraph_induced(self):
+        g = gen.complete_graph(5)
+        sub = g.subgraph([0, 2, 4])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3  # induced triangle
+
+    def test_subgraph_drops_external_edges(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        sub = g.subgraph([0, 1, 3])
+        assert sub.num_edges == 1
+
+    def test_relabel_by_degree(self):
+        g = CSRGraph.from_edges([(0, 1), (0, 2), (0, 3), (3, 4)])
+        r = g.relabel_by_degree()
+        # vertex 0 (degree 3) becomes new id 0
+        assert r.degree(0) == 3
+        assert r.num_edges == g.num_edges
+        assert sorted(r.degrees.tolist()) == sorted(g.degrees.tolist())
+
+    def test_networkx_round_trip(self):
+        g = gen.barabasi_albert(30, 3, seed=1)
+        g2 = CSRGraph.from_networkx(g.to_networkx())
+        assert g == g2
+
+    def test_networkx_bad_labels_rejected(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_edge("a", "b")
+        with pytest.raises(ValueError):
+            CSRGraph.from_networkx(nxg)

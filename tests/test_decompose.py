@@ -1,0 +1,147 @@
+"""Tests for core/fringe decomposition (paper §3.4 heuristic)."""
+
+import pytest
+
+from repro.patterns import catalog
+from repro.patterns.decompose import decompose, decomposition_from_core
+from repro.patterns.pattern import Pattern, all_connected_patterns
+
+
+class TestHeuristic:
+    def test_star_has_vertex_core(self):
+        d = decompose(catalog.star(5))
+        assert d.num_core == 1
+        assert d.core_vertices == (0,)  # the hub
+        assert d.num_fringes == 5
+        assert d.fringe_types[0].arity == 1
+
+    def test_triangle_has_edge_core(self):
+        d = decompose(catalog.triangle())
+        assert d.num_core == 2
+        assert d.num_fringes == 1
+        assert d.fringe_types[0].arity == 2  # a wedge fringe
+
+    def test_tailed_triangle(self):
+        # paper's example: 2-vertex core, one wedge fringe, one tail
+        d = decompose(catalog.tailed_triangle())
+        assert d.num_core == 2
+        arities = sorted(ft.arity for ft in d.fringe_types)
+        assert arities == [1, 2]
+
+    def test_four_cycle_has_wedge_core(self):
+        # paper: "the 4-cycle has a wedge core"
+        d = decompose(catalog.four_cycle())
+        assert d.num_core == 3
+        assert d.core_pattern.num_edges == 2
+
+    def test_four_clique_has_triangle_core(self):
+        d = decompose(catalog.four_clique())
+        assert d.num_core == 3
+        assert d.core_pattern.num_edges == 3
+
+    def test_path5_core_reconnected(self):
+        # degree-1 pass fringes the endpoints, degree-2 pass would leave a
+        # disconnected {B, D} core; reconnection absorbs the middle vertex
+        d = decompose(catalog.path(5))
+        assert d.num_core == 3
+        assert d.core_pattern.is_connected
+
+    def test_fig4_triangle_core(self):
+        d = decompose(catalog.fig4_pattern())
+        assert d.num_core == 3
+        assert d.core_pattern.num_edges == 3
+        assert d.num_fringes == 13
+        by_arity = {}
+        for ft in d.fringe_types:
+            by_arity[ft.arity] = by_arity.get(ft.arity, 0) + ft.count
+        assert by_arity == {1: 6, 2: 5, 3: 2}
+
+    def test_single_vertex(self):
+        d = decompose(Pattern.single_vertex())
+        assert d.num_core == 1 and d.num_fringes == 0
+
+    def test_edge(self):
+        d = decompose(catalog.edge())
+        assert d.num_core == 1 and d.num_fringes == 1
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            decompose(Pattern.from_edges([(0, 1), (2, 3)]))
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_every_small_pattern_decomposes_validly(self, n):
+        for pat in all_connected_patterns(n):
+            d = decompose(pat)  # __post_init__ validates
+            assert d.num_core + d.num_fringes == pat.n
+            assert d.num_fringes >= 1  # paper: every pattern n>=2 has a fringe
+
+
+class TestExplicitCore:
+    def test_alternative_core_valid(self):
+        # paper: the triangle's core "could just as well have been AC or BC"
+        tri = catalog.triangle()
+        for core in ([0, 1], [0, 2], [1, 2]):
+            d = decomposition_from_core(tri, core)
+            assert d.num_fringes == 1
+
+    def test_whole_pattern_as_core(self):
+        d = decomposition_from_core(catalog.diamond(), range(4))
+        assert d.num_fringes == 0 and d.q == 0
+
+    def test_invalid_core_rejected(self):
+        tri = catalog.triangle()
+        with pytest.raises(ValueError):
+            decomposition_from_core(tri, [])  # empty
+        with pytest.raises(ValueError):
+            decomposition_from_core(catalog.path(4), [0, 3])  # disconnected; and
+            # middle vertices would be fringes adjacent to non-core
+
+    def test_fringe_adjacent_to_fringe_rejected(self):
+        # path 0-1-2-3 with core {1}: vertex 3 neighbours only vertex 2
+        # (not core), so this split is invalid
+        with pytest.raises(ValueError):
+            decomposition_from_core(catalog.path(4), [1])
+
+
+class TestDerivedData:
+    def test_matching_order_connected_prefixes(self):
+        for pat in (catalog.fig4_pattern(), catalog.four_clique(), catalog.diamond()):
+            d = decompose(pat)
+            placed = set()
+            for i, c in enumerate(d.matching_order):
+                if i > 0:
+                    assert any(w in placed for w in d.core_pattern.adj[c])
+                placed.add(c)
+
+    def test_matching_order_most_constrained_first(self):
+        # tailed triangle: the core vertex carrying the tail has full
+        # degree 3 vs 2 and must come first (paper §3.6 example)
+        d = decompose(catalog.tailed_triangle())
+        first_core_local = d.matching_order[0]
+        first_pattern_vertex = d.core_vertices[first_core_local]
+        assert d.pattern.degree(first_pattern_vertex) == 3
+
+    def test_anchor_bitsets(self):
+        d = decompose(catalog.tailed_triangle())
+        anch, k = d.anchor_bitsets()
+        assert len(anch) == 2 and sorted(k) == [1, 1]
+        # one type anchored at a single vertex, one at both
+        assert sorted(bin(a).count("1") for a in anch) == [1, 2]
+
+    def test_q_counts_anchored_only(self):
+        # star: single core vertex, anchored
+        assert decompose(catalog.star(3)).q == 1
+        # whole-pattern core: no anchors at all
+        assert decomposition_from_core(catalog.triangle(), [0, 1, 2]).q == 0
+
+    def test_fringe_permutation_factor(self):
+        d = decompose(catalog.star(4))
+        assert d.fringe_permutation_factor() == 24
+
+    def test_decoration(self):
+        d = decompose(catalog.diamond())
+        deco = d.decoration()
+        assert deco == {frozenset({0, 1}): 2}
+
+    def test_repr(self):
+        assert "core=" in repr(decompose(catalog.triangle()))

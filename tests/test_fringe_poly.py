@@ -1,0 +1,121 @@
+"""Tests for the compiled fringe polynomial (closed form of fc)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.fringe_count import fc_recursive
+from repro.core.fringe_poly import _crt, _RNS_PRIMES, compile_fringe_polynomial
+
+
+class TestEquivalenceWithFc:
+    def test_random_configs(self):
+        rng = random.Random(21)
+        for _ in range(120):
+            q = rng.randint(1, 3)
+            full = (1 << q) - 1
+            s = rng.randint(1, min(3, full))
+            anch = sorted(rng.sample(range(1, full + 1), s))
+            k = [rng.randint(1, 3) for _ in range(s)]
+            poly = compile_fringe_polynomial(anch, k, q)
+            for _ in range(4):
+                venn = [0] + [rng.randint(0, 8) for _ in range(full)]
+                assert poly.evaluate(venn) == fc_recursive(list(venn), anch, k, q)
+
+    def test_no_types(self):
+        poly = compile_fringe_polynomial((), (), 2)
+        assert poly.evaluate([0, 5, 5, 5]) == 1
+        assert poly.evaluate_batch(np.zeros((3, 4), dtype=np.int64)) == 3
+
+
+class TestBatchEvaluation:
+    def test_batch_equals_scalar_sum_small(self):
+        poly = compile_fringe_polynomial([0b01, 0b11], [2, 1], 2)
+        venns = np.random.default_rng(0).integers(0, 10, size=(500, 4))
+        expect = sum(poly.evaluate([int(x) for x in row]) for row in venns)
+        assert poly.evaluate_batch(venns) == expect
+
+    def test_batch_equals_scalar_sum_huge_values(self):
+        """Values far beyond float64 exactness must take the RNS path."""
+        poly = compile_fringe_polynomial([0b001, 0b011, 0b111], [4, 3, 3], 3)
+        venns = np.random.default_rng(1).integers(50, 400, size=(40, 8))
+        expect = sum(poly.evaluate([int(x) for x in row]) for row in venns)
+        got = poly.evaluate_batch(venns)
+        assert got == expect
+        assert got > 2**53  # confirms this exercised the exact path
+
+    def test_empty_batch(self):
+        poly = compile_fringe_polynomial([1], [1], 1)
+        assert poly.evaluate_batch(np.zeros((0, 2), dtype=np.int64)) == 0
+
+    def test_zero_venn(self):
+        poly = compile_fringe_polynomial([1], [2], 1)
+        assert poly.evaluate_batch(np.zeros((5, 2), dtype=np.int64)) == 0
+
+
+class TestStructure:
+    def test_single_type_single_region(self):
+        poly = compile_fringe_polynomial([0b11], [3], 2)
+        # only the top region covers {u, v}: one term, weight 1
+        assert poly.num_terms == 1
+        assert poly.weights == (1,)
+
+    def test_tail_type_region_count(self):
+        poly = compile_fringe_polynomial([0b01], [1], 2)
+        # one tail from either {u} or {u, v} region: two terms
+        assert poly.num_terms == 2
+
+    def test_weights_positive(self):
+        poly = compile_fringe_polynomial([0b01, 0b10, 0b11], [2, 2, 2], 2)
+        assert all(w > 0 for w in poly.weights)
+
+
+class TestRNSInternals:
+    def test_primes_are_prime_and_distinct(self):
+        assert len(set(_RNS_PRIMES)) == len(_RNS_PRIMES) == 24
+        for p in _RNS_PRIMES[:5]:
+            assert all(p % d for d in range(2, int(p**0.5) + 1))
+            assert p < 1 << 30
+
+    def test_crt_round_trip(self):
+        rng = random.Random(5)
+        primes = list(_RNS_PRIMES[:6])
+        modulus = 1
+        for p in primes:
+            modulus *= p
+        for _ in range(20):
+            x = rng.randrange(modulus)
+            residues = [x % p for p in primes]
+            assert _crt(residues, primes) == x
+
+
+class TestHornerEvaluation:
+    def test_matches_flat_random(self):
+        import numpy as np
+
+        rng = random.Random(31)
+        for _ in range(40):
+            q = rng.randint(1, 3)
+            full = (1 << q) - 1
+            s = rng.randint(1, min(3, full))
+            anch = sorted(rng.sample(range(1, full + 1), s))
+            k = [rng.randint(1, 3) for _ in range(s)]
+            poly = compile_fringe_polynomial(anch, k, q)
+            venns = np.random.default_rng(1).integers(0, 10, size=(32, 1 << q))
+            assert np.allclose(
+                poly._per_row_float(venns), poly.per_row_float_horner(venns)
+            )
+
+    def test_plan_covers_all_terms(self):
+        poly = compile_fringe_polynomial([0b01, 0b11], [3, 2], 2)
+        plan = poly.horner_plan()
+        assert sorted(t for _, t in plan) == list(range(poly.num_terms))
+        assert plan[0][0] == 0  # first term has no prefix to share
+
+    def test_no_regions(self):
+        import numpy as np
+
+        poly = compile_fringe_polynomial((), (), 1)
+        out = poly.per_row_float_horner(np.zeros((4, 2), dtype=np.int64))
+        assert out.tolist() == [1.0] * 4

@@ -1,0 +1,130 @@
+"""Tests for the synthetic graph generators (Table 1 stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.stats import num_components
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda s: gen.rmat(8, 4, seed=s),
+            lambda s: gen.kronecker(7, 8, seed=s),
+            lambda s: gen.erdos_renyi(80, 0.08, seed=s),
+            lambda s: gen.barabasi_albert(60, 3, seed=s),
+            lambda s: gen.powerlaw_cluster(60, 4, 0.5, seed=s),
+            lambda s: gen.random_geometric(80, 0.18, seed=s),
+            lambda s: gen.delaunay(80, seed=s),
+            lambda s: gen.road_network(10, 10, seed=s),
+            lambda s: gen.internet_topology(80, seed=s),
+            lambda s: gen.web_copying(80, seed=s),
+        ],
+        ids=[
+            "rmat",
+            "kronecker",
+            "er",
+            "ba",
+            "plc",
+            "geometric",
+            "delaunay",
+            "road",
+            "internet",
+            "web",
+        ],
+    )
+    def test_same_seed_same_graph(self, factory):
+        assert factory(3) == factory(3)
+
+    def test_different_seed_different_graph(self):
+        assert gen.rmat(8, 4, seed=1) != gen.rmat(8, 4, seed=2)
+
+
+class TestTopologyClasses:
+    def test_rmat_size(self):
+        g = gen.rmat(8, 8, seed=0)
+        assert g.num_vertices <= 256
+        assert g.num_edges > 500
+
+    def test_kronecker_is_skewed(self):
+        g = gen.kronecker(9, 16, seed=0)
+        degs = np.sort(g.degrees)[::-1]
+        # hub dominance: top vertex way above the median
+        assert degs[0] > 8 * max(np.median(degs), 1)
+
+    def test_delaunay_planar_degrees(self):
+        g = gen.delaunay(400, seed=1)
+        assert 5.0 < g.avg_degree() < 7.0  # Euler: ~6 for triangulations
+        assert g.max_degree() < 30
+
+    def test_road_low_degree(self):
+        g = gen.road_network(30, 30, seed=1)
+        assert g.max_degree() <= 4
+        assert g.avg_degree() < 3.5
+
+    def test_grid_is_full(self):
+        g = gen.grid_graph(5, 7)
+        assert g.num_vertices == 35
+        assert g.num_edges == 5 * 6 + 4 * 7  # horizontal + vertical
+
+    def test_ba_connected(self):
+        g = gen.barabasi_albert(200, 3, seed=5)
+        assert num_components(g) == 1
+        assert g.num_edges <= 3 * 200
+
+    def test_web_copying_heavy_tail(self):
+        g = gen.web_copying(500, out_degree=7, seed=2)
+        assert g.max_degree() > 4 * g.avg_degree()
+
+    def test_geometric_radius_zero(self):
+        g = gen.random_geometric(50, 0.0001, seed=0)
+        assert g.num_edges == 0
+
+
+class TestErdosRenyi:
+    def test_p_zero_and_one(self):
+        assert gen.erdos_renyi(20, 0.0, seed=1).num_edges == 0
+        assert gen.erdos_renyi(10, 1.0, seed=1).num_edges == 45
+
+    def test_expected_density(self):
+        g = gen.erdos_renyi(300, 0.1, seed=4)
+        expected = 0.1 * 300 * 299 / 2
+        assert abs(g.num_edges - expected) < 0.15 * expected
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            gen.erdos_renyi(10, 1.5)
+
+
+class TestCanonical:
+    def test_complete(self):
+        g = gen.complete_graph(6)
+        assert g.num_edges == 15
+        assert g.degrees.tolist() == [5] * 6
+
+    def test_cycle(self):
+        g = gen.cycle_graph(7)
+        assert g.num_edges == 7
+        assert g.degrees.tolist() == [2] * 7
+
+    def test_star(self):
+        g = gen.star_graph(5)
+        assert g.degree(0) == 5
+        assert g.num_edges == 5
+
+    def test_path(self):
+        g = gen.path_graph(6)
+        assert g.num_edges == 5
+        assert g.degree(0) == 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            gen.cycle_graph(2)
+        with pytest.raises(ValueError):
+            gen.rmat(0)
+        with pytest.raises(ValueError):
+            gen.barabasi_albert(3, 5)
+        with pytest.raises(ValueError):
+            gen.rmat(4, a=0.9, b=0.9, c=0.9)

@@ -1,0 +1,148 @@
+"""Tests for the SIMT warp simulator and the two kernel formulations."""
+
+import pytest
+
+from repro.graph import generators as gen
+from repro.gpusim import (
+    GPUMachine,
+    LaneOp,
+    MachineConfig,
+    WARP_SIZE,
+    WarpStats,
+    ballot,
+    ffs,
+    run_ballot_warp,
+    run_naive_warp,
+    run_warp,
+    venn_binary_search_programs,
+)
+from repro.gpusim.warp import SEGMENT_BYTES, WORD_BYTES, _transactions
+
+
+class TestPrimitives:
+    def test_ballot(self):
+        assert ballot([]) == 0
+        assert ballot([True, False, True]) == 0b101
+        assert ballot([False] * 32) == 0
+
+    def test_ffs_matches_cuda_semantics(self):
+        assert ffs(0) == 0
+        assert ffs(1) == 1
+        assert ffs(0b1000) == 4
+        assert ffs(0b1010) == 2
+
+    def test_transactions_coalescing(self):
+        words = SEGMENT_BYTES // WORD_BYTES
+        # 32 consecutive words within two segments
+        assert _transactions(list(range(32))) == (31 // words) + 1
+        # 32 scattered words: one transaction each
+        assert _transactions([i * words for i in range(32)]) == 32
+        assert _transactions([]) == 0
+
+
+class TestRunWarp:
+    def test_converged_lanes_single_step_each(self):
+        def lane():
+            yield LaneOp(pc=1)
+            yield LaneOp(pc=2)
+
+        stats = run_warp([lane() for _ in range(32)])
+        assert stats.steps == 2
+        assert stats.simt_efficiency == 1.0
+        assert stats.lane_ops == 64
+
+    def test_divergent_lanes_serialize(self):
+        def lane(pc):
+            yield LaneOp(pc=pc)
+
+        stats = run_warp([lane(i) for i in range(8)])
+        assert stats.steps == 8  # every lane alone at its pc
+        assert stats.simt_efficiency == pytest.approx(8 / (8 * 32))
+
+    def test_min_pc_reconvergence(self):
+        # lane A runs pcs 1,3; lane B runs 2,3 — they reconverge at 3
+        def lane_a():
+            yield LaneOp(pc=1)
+            yield LaneOp(pc=3)
+
+        def lane_b():
+            yield LaneOp(pc=2)
+            yield LaneOp(pc=3)
+
+        stats = run_warp([lane_a(), lane_b()])
+        assert stats.steps == 3  # 1 alone, 2 alone, 3 together
+
+    def test_too_many_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            run_warp([iter(()) for _ in range(33)])
+
+    def test_merge(self):
+        a, b = WarpStats(steps=1, lane_ops=2), WarpStats(steps=3, lane_ops=4)
+        a.merge(b)
+        assert a.steps == 4 and a.lane_ops == 6
+
+
+class TestKernels:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return gen.kronecker(7, 8, seed=3)
+
+    def test_ballot_full_efficiency(self, graph):
+        stats = run_ballot_warp(graph, list(range(32)))
+        assert stats.simt_efficiency == 1.0
+
+    def test_naive_diverges_on_skewed_graph(self, graph):
+        stats = run_naive_warp(graph, list(range(32)))
+        assert stats.simt_efficiency < 0.9
+
+    def test_ballot_fewer_steps_than_naive(self, graph):
+        ballot_s = run_ballot_warp(graph, list(range(32)))
+        naive_s = run_naive_warp(graph, list(range(32)))
+        assert ballot_s.steps < naive_s.steps
+
+    def test_same_lane_work_performed(self, graph):
+        """Both kernels inspect the same level-1 vertices; the ballot
+        version does so cooperatively so lane_ops differ, but neither
+        may be empty on a non-trivial graph."""
+        assert run_ballot_warp(graph, [0]).lane_ops > 0
+        assert run_naive_warp(graph, [0]).lane_ops > 0
+
+    def test_venn_binary_search_coalesces(self, graph):
+        hub = int(graph.degrees.argmax())
+        others = graph.neighbors(hub)[:2].tolist()
+        stats = run_warp(venn_binary_search_programs(graph, hub, others))
+        # sorted inputs keep early binary-search probes in shared
+        # segments: far fewer transactions than one per lane-op
+        assert stats.mem_transactions < stats.lane_ops
+
+
+class TestMachine:
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            MachineConfig(schedule="quantum")
+        with pytest.raises(ValueError):
+            MachineConfig(num_sms=0)
+
+    def test_report_aggregates(self):
+        g = gen.erdos_renyi(100, 0.1, seed=1)
+        rep = GPUMachine(MachineConfig(num_sms=4)).launch(g, run_ballot_warp)
+        assert rep.chunks == (100 + WARP_SIZE - 1) // WARP_SIZE
+        assert rep.makespan_steps <= rep.total_steps
+        assert rep.total_mem_transactions > 0
+
+    def test_dynamic_no_worse_than_static(self):
+        g = gen.kronecker(7, 8, seed=2)
+        dyn = GPUMachine(MachineConfig(num_sms=8, schedule="dynamic", chunk_size=8)).launch(
+            g, run_ballot_warp
+        )
+        sta = GPUMachine(MachineConfig(num_sms=8, schedule="static", chunk_size=8)).launch(
+            g, run_ballot_warp
+        )
+        assert dyn.makespan_steps <= sta.makespan_steps
+
+    def test_roots_subset(self):
+        g = gen.erdos_renyi(60, 0.2, seed=4)
+        rep = GPUMachine(MachineConfig(num_sms=2)).launch(
+            g, run_ballot_warp, roots=list(range(10))
+        )
+        assert rep.chunks == 1

@@ -1,0 +1,67 @@
+"""Tests for the backtracking (sub)graph isomorphism used by the toolkit."""
+
+import pytest
+
+from repro.patterns import catalog
+from repro.patterns.isomorphism import are_isomorphic, automorphisms_of, isomorphisms
+from repro.patterns.pattern import Pattern
+
+
+class TestAreIsomorphic:
+    def test_relabelings(self):
+        p = catalog.tailed_triangle()
+        assert are_isomorphic(p, p.relabel([3, 1, 0, 2]))
+
+    def test_same_degree_sequence_not_isomorphic(self):
+        # C6 vs two triangles... two triangles are disconnected; use
+        # C6 vs K_{3,3} minus a perfect matching = C6 — instead compare
+        # the two degree-regular 6-vertex graphs C6 and 2K3 is invalid.
+        # Classic pair: the 4-cycle plus chord (diamond) vs K4 minus path.
+        c6 = catalog.cycle(6)
+        prism = Pattern.from_edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)])
+        assert not are_isomorphic(c6, prism)  # different edge counts
+
+    def test_same_counts_not_isomorphic(self):
+        star_plus = Pattern.from_edges([(0, 1), (0, 2), (0, 3), (1, 2)])  # paw
+        path4_plus = catalog.four_cycle()
+        assert not are_isomorphic(star_plus, path4_plus)
+
+    def test_size_mismatch(self):
+        assert not are_isomorphic(catalog.triangle(), catalog.four_clique())
+
+
+class TestIsomorphisms:
+    def test_count_equals_aut_size(self):
+        assert len(list(isomorphisms(catalog.triangle(), catalog.triangle()))) == 6
+
+    def test_mappings_are_valid(self):
+        a, b = catalog.diamond(), catalog.diamond().relabel([2, 3, 0, 1])
+        for m in isomorphisms(a, b):
+            for u, v in a.edges():
+                assert b.has_edge(m[u], m[v])
+
+    def test_compatible_filter(self):
+        # force vertex 0 to map to itself only
+        maps = list(
+            isomorphisms(
+                catalog.triangle(),
+                catalog.triangle(),
+                compatible=lambda va, vb: va != 0 or vb == 0,
+            )
+        )
+        assert len(maps) == 2  # stabilizer of one triangle vertex
+
+
+class TestAutomorphismsOf:
+    def test_identity_always_present(self):
+        for pat in (catalog.wedge(), catalog.paw(), catalog.star(3)):
+            autos = automorphisms_of(pat)
+            assert tuple(range(pat.n)) in autos
+
+    def test_group_closure(self):
+        autos = automorphisms_of(catalog.four_cycle())
+        as_set = set(autos)
+        for a in autos:
+            for b in autos:
+                composed = tuple(a[b[i]] for i in range(4))
+                assert composed in as_set

@@ -1,0 +1,78 @@
+"""Tests for the ESCAPE-style local-counting baseline."""
+
+import pytest
+
+from repro import count_subgraphs
+from repro.baselines import count_local, count_vf2, local_counts
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+from repro.patterns import catalog
+
+
+GRAPHS = [
+    gen.erdos_renyi(30, 0.25, seed=1),
+    gen.erdos_renyi(40, 0.12, seed=2),
+    gen.complete_graph(7),
+    gen.cycle_graph(9),
+    gen.star_graph(8),
+    gen.barabasi_albert(40, 3, seed=3),
+    gen.grid_graph(5, 5),
+]
+
+
+class TestAgainstGroundTruth:
+    @pytest.mark.parametrize("gi", range(len(GRAPHS)))
+    def test_all_fig1_counts(self, gi):
+        g = GRAPHS[gi]
+        lc = local_counts(g).as_dict()
+        for name, pattern in catalog.fig1_patterns().items():
+            assert lc[name] == count_vf2(g, pattern), name
+
+    def test_agrees_with_fringe_engine(self):
+        g = gen.kronecker(7, 8, seed=5)
+        lc = local_counts(g).as_dict()
+        for name, pattern in catalog.fig1_patterns().items():
+            assert lc[name] == count_subgraphs(g, pattern).count, name
+
+
+class TestClosedForms:
+    def test_complete_graph(self):
+        # K_n: wedges = 3 C(n,3); triangles = C(n,3); K4s = C(n,4)
+        import math
+
+        n = 7
+        lc = local_counts(gen.complete_graph(n))
+        assert lc.triangle == math.comb(n, 3)
+        assert lc.wedge == 3 * math.comb(n, 3)
+        assert lc.four_clique == math.comb(n, 4)
+        assert lc.four_cycle == 3 * math.comb(n, 4)  # each K4 holds 3 C4s
+
+    def test_triangle_free_graph(self):
+        lc = local_counts(gen.grid_graph(4, 6))
+        assert lc.triangle == 0
+        assert lc.tailed_triangle == 0
+        assert lc.diamond == 0
+        assert lc.four_clique == 0
+        assert lc.four_cycle == 3 * 5  # grid cells
+
+    def test_star_graph(self):
+        import math
+
+        lc = local_counts(gen.star_graph(6))
+        assert lc.wedge == math.comb(6, 2)
+        assert lc.three_star == math.comb(6, 3)
+        assert lc.four_path == 0
+
+    def test_empty_graph(self):
+        lc = local_counts(CSRGraph.from_edges([], num_vertices=5))
+        assert all(v == 0 for v in lc.as_dict().values())
+
+
+class TestCountLocal:
+    def test_by_name(self):
+        g = GRAPHS[0]
+        assert count_local(g, "triangle") == local_counts(g).triangle
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="Fig. 1"):
+            count_local(GRAPHS[0], "petersen")

@@ -1,0 +1,104 @@
+"""Tests for the stack-based core matcher."""
+
+import math
+
+import pytest
+
+from repro.core.matcher import build_plan, count_core_matches, match_cores
+from repro.graph import generators as gen
+from repro.patterns import catalog
+from repro.patterns.decompose import decompose, decomposition_from_core
+
+
+def ordered_embedding_count(graph, pattern):
+    """Reference: injective edge-preserving maps of the *whole* pattern."""
+    from repro.baselines.vf2 import count_injective_maps
+
+    return count_injective_maps(graph, pattern)
+
+
+class TestCoreMatching:
+    def test_edge_core_counts_ordered_edges(self, k5):
+        d = decompose(catalog.triangle())  # edge core, symmetric decoration
+        plan = build_plan(d, symmetry_breaking=False)
+        # all ordered vertex pairs joined by an edge: 2 * |E|
+        assert count_core_matches(k5, plan) == 2 * k5.num_edges
+
+    def test_symmetry_breaking_halves_symmetric_edge_core(self, k5):
+        d = decompose(catalog.diamond())
+        on = count_core_matches(k5, build_plan(d, symmetry_breaking=True))
+        off = count_core_matches(k5, build_plan(d, symmetry_breaking=False))
+        assert off == 2 * on
+
+    def test_matches_are_injective_and_edge_preserving(self, small_graphs):
+        d = decompose(catalog.four_clique())
+        plan = build_plan(d, symmetry_breaking=False)
+        core = d.core_pattern
+        for g in small_graphs[:4]:
+            for match in match_cores(g, plan):
+                assert len(set(match)) == len(match)
+                for i in range(len(match)):
+                    for j in range(i + 1, len(match)):
+                        ci, cj = plan.order[i], plan.order[j]
+                        if core.has_edge(ci, cj):
+                            assert g.has_edge(match[i], match[j])
+
+    def test_whole_pattern_matching_equals_injective_maps(self, small_graphs):
+        for pat in (catalog.triangle(), catalog.four_cycle(), catalog.paw()):
+            d = decomposition_from_core(pat, range(pat.n))
+            plan = build_plan(d, symmetry_breaking=False)
+            for g in small_graphs[:4]:
+                assert count_core_matches(g, plan) == ordered_embedding_count(g, pat)
+
+    def test_symmetry_reduction_factor_exact(self, small_graphs):
+        """#matches(no SB) == group_order * #matches(SB) for every graph."""
+        for pat in (catalog.four_clique(), catalog.four_cycle(), catalog.diamond()):
+            d = decompose(pat)
+            plan_on = build_plan(d, symmetry_breaking=True)
+            plan_off = build_plan(d, symmetry_breaking=False)
+            for g in small_graphs:
+                assert (
+                    count_core_matches(g, plan_off)
+                    == plan_on.group_order * count_core_matches(g, plan_on)
+                )
+
+    def test_start_vertices_partition_work(self, small_graphs):
+        d = decompose(catalog.four_clique())
+        plan = build_plan(d)
+        g = small_graphs[0]
+        whole = count_core_matches(g, plan)
+        split = sum(
+            sum(1 for _ in match_cores(g, plan, start_vertices=[v]))
+            for v in range(g.num_vertices)
+        )
+        assert whole == split
+
+    def test_single_vertex_core(self):
+        d = decompose(catalog.star(3))
+        plan = build_plan(d)
+        g = gen.star_graph(5)
+        # degree filter: only the hub has degree >= 3
+        assert count_core_matches(g, plan) == 1
+
+    def test_degree_filter_prunes_roots(self):
+        d = decompose(catalog.star(4))
+        plan = build_plan(d)
+        assert plan.min_degree[0] == 4
+        g = gen.path_graph(10)
+        assert count_core_matches(g, plan) == 0
+
+
+class TestPlan:
+    def test_back_edges_within_prefix(self):
+        for pat in (catalog.fig4_pattern(), catalog.four_clique()):
+            plan = build_plan(decompose(pat))
+            for i, back in enumerate(plan.back_edges):
+                assert all(b < i for b in back)
+                if i > 0:
+                    assert back, "every later vertex must touch the prefix"
+
+    def test_min_degree_uses_full_pattern_degree(self):
+        plan = build_plan(decompose(catalog.tailed_triangle()))
+        # first core vertex carries the tail: full degree 3
+        assert plan.min_degree[0] == 3
+        assert plan.min_degree[1] == 2

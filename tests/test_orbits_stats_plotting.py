@@ -1,0 +1,122 @@
+"""Tests for pattern orbits, extra graph stats, ASCII plotting, and the
+signatures CLI command."""
+
+import pytest
+
+from repro.bench.harness import FigureResult, Measurement
+from repro.bench.plotting import ascii_chart, figure_chart
+from repro.cli import main as cli_main
+from repro.graph import generators as gen
+from repro.graph.stats import degree_assortativity, global_clustering
+from repro.patterns import catalog
+from repro.patterns.orbits import edge_orbits, num_orbits, orbit_of, vertex_orbits
+
+
+class TestVertexOrbits:
+    def test_star_two_orbits(self):
+        orbits = vertex_orbits(catalog.star(4))
+        assert len(orbits) == 2
+        assert frozenset({0}) in orbits  # the hub is alone
+
+    def test_triangle_single_orbit(self):
+        assert num_orbits(catalog.triangle()) == 1
+
+    def test_paw_orbits(self):
+        # apex (0), two symmetric triangle vertices (1, 2), tail (3)
+        orbits = vertex_orbits(catalog.paw())
+        assert len(orbits) == 3
+        assert frozenset({1, 2}) in orbits
+
+    def test_orbit_of(self):
+        assert orbit_of(catalog.paw(), 1) == frozenset({1, 2})
+        with pytest.raises(ValueError):
+            orbit_of(catalog.paw(), 9)
+
+    def test_orbits_partition(self):
+        for pat in (catalog.diamond(), catalog.fig4_pattern()):
+            orbits = vertex_orbits(pat)
+            covered = set()
+            for o in orbits:
+                assert not (covered & o)
+                covered |= o
+            assert covered == set(range(pat.n))
+
+
+class TestEdgeOrbits:
+    def test_triangle_one_edge_orbit(self):
+        assert len(edge_orbits(catalog.triangle())) == 1
+
+    def test_paw_edge_orbits(self):
+        # tail edge, apex-triangle edges (x2 symmetric), far triangle edge
+        assert len(edge_orbits(catalog.paw())) == 3
+
+
+class TestExtraStats:
+    def test_clustering_complete(self):
+        assert global_clustering(gen.complete_graph(6)) == pytest.approx(1.0)
+
+    def test_clustering_triangle_free(self):
+        assert global_clustering(gen.grid_graph(4, 4)) == 0.0
+        assert global_clustering(gen.star_graph(5)) == 0.0
+
+    def test_clustering_matches_networkx(self):
+        import networkx as nx
+
+        g = gen.erdos_renyi(60, 0.15, seed=2)
+        assert global_clustering(g) == pytest.approx(nx.transitivity(g.to_networkx()))
+
+    def test_assortativity_matches_networkx(self):
+        import networkx as nx
+
+        g = gen.barabasi_albert(80, 3, seed=3)
+        ours = degree_assortativity(g)
+        theirs = nx.degree_assortativity_coefficient(g.to_networkx())
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_assortativity_regular_graph(self):
+        assert degree_assortativity(gen.cycle_graph(8)) == 0.0
+        assert degree_assortativity(gen.complete_graph(2)) == 0.0
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart(
+            {"a": [10.0, 100.0], "b": [1.0, None]}, ["p1", "p2"], title="t"
+        )
+        assert "t" in out and "o=a" in out and "*=b" in out
+        assert "p1" in out and "p2" in out
+
+    def test_empty(self):
+        assert ascii_chart({}, []) == "(no data)"
+        assert ascii_chart({"a": [None]}, ["x"]) == "(all DNF)"
+
+    def test_linear_mode(self):
+        out = ascii_chart({"a": [1.0, 2.0]}, ["x", "y"], log=False)
+        assert "|" in out
+
+    def test_figure_chart(self):
+        res = FigureResult("f")
+        res.measurements.append(Measurement("s", "p", "g", "ok", 5, 0.1, 100))
+        out = figure_chart(res)
+        assert "f —" in out
+
+
+class TestSignaturesCLI:
+    def test_stdout_table(self, capsys):
+        assert (
+            cli_main(["signatures", "--dataset", "internet", "--scale", "tiny", "--top", "3"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "wedge_center" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        out_path = tmp_path / "sig.csv"
+        assert (
+            cli_main(
+                ["signatures", "--dataset", "internet", "--scale", "tiny", "--out", str(out_path)]
+            )
+            == 0
+        )
+        lines = out_path.read_text().strip().splitlines()
+        assert lines[0].startswith("vertex,degree,")
+        assert len(lines) > 100

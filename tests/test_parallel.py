@@ -1,0 +1,71 @@
+"""Tests for the multicore parallel layer."""
+
+import numpy as np
+import pytest
+
+from repro import count_subgraphs
+from repro.graph import generators as gen
+from repro.parallel import (
+    ParallelConfig,
+    dynamic_chunks,
+    make_chunks,
+    parallel_count,
+    static_contiguous,
+    static_strided,
+)
+from repro.patterns import catalog
+
+
+class TestSchedules:
+    def test_static_contiguous_partitions(self):
+        chunks = static_contiguous(10, 3)
+        assert len(chunks) == 3
+        assert np.concatenate(chunks).tolist() == list(range(10))
+
+    def test_static_strided_partitions(self):
+        chunks = static_strided(10, 3)
+        merged = sorted(np.concatenate(chunks).tolist())
+        assert merged == list(range(10))
+        assert chunks[0].tolist() == [0, 3, 6, 9]
+
+    def test_dynamic_chunks(self):
+        chunks = dynamic_chunks(10, 4)
+        assert [len(c) for c in chunks] == [4, 4, 2]
+        assert np.concatenate(chunks).tolist() == list(range(10))
+
+    def test_make_chunks_dispatch(self):
+        assert len(make_chunks(100, 4, "static")) == 4
+        assert len(make_chunks(100, 4, "strided")) == 4
+        assert len(make_chunks(100, 4, "dynamic", chunk_size=10)) == 10
+        with pytest.raises(ValueError):
+            make_chunks(10, 2, "magic")
+
+
+class TestParallelCount:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return gen.barabasi_albert(300, 4, seed=5)
+
+    @pytest.mark.parametrize("pattern", [catalog.paw(), catalog.diamond(), catalog.star(3)],
+                             ids=["paw", "diamond", "3-star"])
+    @pytest.mark.parametrize("schedule", ["static", "strided", "dynamic"])
+    def test_exact_across_schedules(self, graph, pattern, schedule):
+        expect = count_subgraphs(graph, pattern).count
+        res = parallel_count(
+            graph, pattern, parallel=ParallelConfig(num_workers=2, schedule=schedule)
+        )
+        assert res.count == expect
+
+    def test_single_worker_no_fork(self, graph):
+        pat = catalog.tailed_triangle()
+        res = parallel_count(graph, pat, parallel=ParallelConfig(num_workers=1))
+        assert res.count == count_subgraphs(graph, pat).count
+        assert "x1" in res.engine
+
+    def test_trivial_patterns(self, graph):
+        assert parallel_count(graph, catalog.single_vertex()).count == graph.num_vertices
+        assert parallel_count(graph, catalog.edge()).count == graph.num_edges
+
+    def test_default_config_uses_cpu_count(self):
+        cfg = ParallelConfig()
+        assert cfg.num_workers >= 1

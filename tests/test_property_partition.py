@@ -1,0 +1,62 @@
+"""Property-based tests: partitioning and parallel splits never change
+counts, for random graphs, random patterns, random assignments."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import count_subgraphs
+from repro.graph.csr import CSRGraph
+from repro.parallel import partitioned_count
+from repro.parallel.partition import partition_graph
+from repro.patterns import catalog
+
+SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+PATTERNS = [
+    catalog.triangle(),
+    catalog.paw(),
+    catalog.star(3),
+    catalog.four_cycle(),
+]
+
+
+@st.composite
+def graph_and_parts(draw):
+    n = draw(st.integers(min_value=6, max_value=24))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    mask = draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
+    edges = [p for p, m in zip(pairs, mask) if m]
+    parts = draw(st.integers(min_value=2, max_value=4))
+    return CSRGraph.from_edges(edges, num_vertices=n), parts
+
+
+class TestPartitionProperties:
+    @SETTINGS
+    @given(graph_and_parts(), st.integers(0, len(PATTERNS) - 1))
+    def test_partitioned_equals_whole(self, gp, pi):
+        graph, parts = gp
+        pattern = PATTERNS[pi]
+        expect = count_subgraphs(graph, pattern).count
+        assert partitioned_count(graph, pattern, num_parts=parts).count == expect
+
+    @SETTINGS
+    @given(graph_and_parts(), st.randoms(use_true_random=False))
+    def test_random_assignment_partition_invariants(self, gp, rnd):
+        graph, parts = gp
+        n = graph.num_vertices
+        assignment = np.asarray([rnd.randrange(parts) for _ in range(n)], dtype=np.int64)
+        partitions = partition_graph(graph, parts, halo=2, assignment=assignment)
+        owned = np.concatenate(
+            [p.local_to_global[p.owned_local] for p in partitions]
+        )
+        assert sorted(owned.tolist()) == list(range(n))
+        for p in partitions:
+            # local relabeling must preserve global order (symmetry
+            # breaking correctness depends on it)
+            assert np.all(np.diff(p.local_to_global) > 0)
+            # owned vertices keep their full degree
+            for lv in p.owned_local.tolist():
+                gv = int(p.local_to_global[lv])
+                assert p.graph.degree(lv) == graph.degree(gv)

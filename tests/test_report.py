@@ -1,0 +1,61 @@
+"""Tests for the benchmark report generator."""
+
+import json
+
+import pytest
+
+from repro.bench.report import build_report
+from repro.bench import run_figure, save_figure
+from repro.graph import generators as gen
+from repro.patterns import catalog
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    graphs = {"er": gen.erdos_renyi(30, 0.2, seed=1)}
+    res = run_figure(
+        "fig08-vertex-core",
+        {"2-star": catalog.star(2), "3-star": catalog.star(3)},
+        graphs,
+        ("fringe-sgc", "stmatch-like"),
+    )
+    save_figure(res, tmp_path / "fig08.json")
+    (tmp_path / "fig12.json").write_text(
+        json.dumps(
+            {
+                "fig4+0": {
+                    "seconds": 1.0,
+                    "throughput_eps": 500.0,
+                    "pattern_vertices": 16,
+                    "count_digits": 20,
+                }
+            }
+        )
+    )
+    (tmp_path / "table1.json").write_text(json.dumps([{"name": "internet"}]))
+    return tmp_path
+
+
+class TestBuildReport:
+    def test_contains_figure_table(self, results_dir):
+        report = build_report(results_dir)
+        assert "fig08-vertex-core" in report
+        assert "| system |" in report
+        assert "fringe-sgc" in report
+
+    def test_contains_series_table(self, results_dir):
+        report = build_report(results_dir)
+        assert "Fig. 12" in report
+        assert "fig4+0" in report
+
+    def test_contains_raw_extras(self, results_dir):
+        report = build_report(results_dir)
+        assert "table1" in report and "internet" in report
+
+    def test_missing_results_ok(self, tmp_path):
+        report = build_report(tmp_path)
+        assert "Benchmark report" in report
+
+    def test_speedup_lines(self, results_dir):
+        report = build_report(results_dir)
+        assert "speedup" in report.lower() or "stmatch" in report

@@ -1,0 +1,147 @@
+"""Tests for the specialized small-core engines (§3.4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.vf2 import count_vf2
+from repro.core import specialized
+from repro.core.engine import EngineConfig, count_subgraphs
+from repro.core.specialized import (
+    EdgeCoreEngine,
+    ThreeCoreEngine,
+    VertexCoreEngine,
+    common_neighbor_counts,
+    dispatch,
+)
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+from repro.patterns import catalog
+from repro.patterns.decompose import decompose, decomposition_from_core
+
+
+class TestDispatch:
+    def test_by_core_size(self):
+        assert isinstance(dispatch(decompose(catalog.star(3))), VertexCoreEngine)
+        assert isinstance(dispatch(decompose(catalog.diamond())), EdgeCoreEngine)
+        assert isinstance(dispatch(decompose(catalog.four_clique())), ThreeCoreEngine)
+        assert dispatch(decompose(catalog.clique(5))) is None
+
+    def test_engine_type_validation(self):
+        with pytest.raises(ValueError):
+            VertexCoreEngine(decompose(catalog.diamond()))
+        with pytest.raises(ValueError):
+            EdgeCoreEngine(decompose(catalog.star(3)))
+        with pytest.raises(ValueError):
+            ThreeCoreEngine(decompose(catalog.diamond()))
+
+
+class TestVertexCore:
+    def test_kstars_match_formula(self, small_graphs):
+        for g in small_graphs:
+            for k in (2, 3, 5):
+                eng = VertexCoreEngine(decompose(catalog.star(k)))
+                expected = sum(math.comb(int(d), k) for d in g.degrees)
+                assert eng(g).count == expected
+
+    def test_result_metadata(self, k5):
+        res = VertexCoreEngine(decompose(catalog.star(2)))(k5)
+        assert res.engine == "fringe-specialized(vertex-core)"
+        assert res.core_matches == 5  # all K5 vertices have degree >= 2
+
+
+class TestEdgeCore:
+    PATTERNS = [
+        catalog.triangle(),
+        catalog.tailed_triangle(),
+        catalog.diamond(),
+        catalog.k_tailed_triangle(2),
+        catalog.path(4),  # 2-core with a tail on each side
+        catalog.core_with_fringes("edge", [((0, 1), 2), ((0,), 1), ((1,), 1)]),
+    ]
+
+    @pytest.mark.parametrize("pat", PATTERNS, ids=lambda p: f"n{p.n}m{p.num_edges}")
+    def test_matches_vf2(self, small_graphs, pat):
+        eng = EdgeCoreEngine(decompose(pat))
+        for g in small_graphs:
+            assert eng(g).count == count_vf2(g, pat)
+
+    def test_large_graph_consistency(self):
+        g = gen.kronecker(9, 8, seed=2)
+        pat = catalog.k_tailed_triangle(3)
+        a = EdgeCoreEngine(decompose(pat))(g).count
+        b = count_subgraphs(g, pat, engine="general").count
+        assert a == b
+
+    def test_exact_on_hub_graphs(self):
+        # big star: C(hub degree, k) terms blow past float precision
+        g = gen.star_graph(300)
+        pat = catalog.path(4)  # edge core, tails both sides
+        a = EdgeCoreEngine(decompose(pat))(g).count
+        assert a == count_vf2(g, pat)
+
+
+class TestCommonNeighborCounts:
+    def test_small_path(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        edges = g.edge_array()
+        c = common_neighbor_counts(g, edges)
+        as_dict = {tuple(e): int(cc) for e, cc in zip(edges.tolist(), c)}
+        assert as_dict[(0, 1)] == 1  # vertex 2
+        assert as_dict[(2, 3)] == 0
+
+    def test_sparse_and_merge_paths_agree(self):
+        g = gen.barabasi_albert(120, 4, seed=8)
+        edges = g.edge_array()
+        via_matmul = common_neighbor_counts(g, edges)
+        # force the merge path by lying about the threshold
+        out = np.empty(len(edges), dtype=np.int64)
+        for i, (u, v) in enumerate(edges.tolist()):
+            au, av = set(g.neighbors(u).tolist()), set(g.neighbors(v).tolist())
+            out[i] = len(au & av)
+        assert via_matmul.tolist() == out.tolist()
+
+    def test_empty_edges(self):
+        g = gen.path_graph(3)
+        assert len(common_neighbor_counts(g, np.empty((0, 2), dtype=np.int64))) == 0
+
+
+class TestThreeCore:
+    TRIANGLE_PATTERNS = [
+        catalog.four_clique(),
+        catalog.tailed_four_clique(1),
+        catalog.core_with_fringes("triangle", [((0, 1, 2), 2)]),
+        catalog.core_with_fringes("triangle", [((0, 1, 2), 1), ((0, 1), 1), ((2,), 1)]),
+    ]
+    WEDGE_PATTERNS = [
+        catalog.four_cycle(),
+        catalog.core_with_fringes(catalog.wedge(), [((1, 2), 1), ((0,), 1)]),
+        catalog.core_with_fringes(catalog.wedge(), [((1, 2), 2)]),
+    ]
+
+    @pytest.mark.parametrize(
+        "pat", TRIANGLE_PATTERNS + WEDGE_PATTERNS, ids=lambda p: f"n{p.n}m{p.num_edges}"
+    )
+    def test_matches_vf2(self, small_graphs, pat):
+        eng = ThreeCoreEngine(decompose(pat))
+        for g in small_graphs[:5]:
+            assert eng(g).count == count_vf2(g, pat)
+
+    def test_core_kind_detection(self):
+        assert ThreeCoreEngine(decompose(catalog.four_clique())).core_kind == "triangle"
+        assert ThreeCoreEngine(decompose(catalog.four_cycle())).core_kind == "wedge"
+
+    def test_fig4_in_itself(self):
+        pat = catalog.fig4_pattern()
+        g = CSRGraph.from_edges(pat.edges(), num_vertices=pat.n)
+        eng = ThreeCoreEngine(decompose(pat))
+        assert eng(g).count == 1
+
+    def test_assignment_dedup_multiplicities(self):
+        # fully symmetric decoration: all 6 triangle-role assignments give
+        # the same table, so one polynomial with multiplicity 6
+        eng = ThreeCoreEngine(decompose(catalog.four_clique()))
+        polys = eng._polynomials()
+        assert sum(m for _, m in polys) == 6
+        assert len(polys) == 1

@@ -1,0 +1,92 @@
+"""Tests for graph statistics (Table 1 columns, triangle counts, peeling)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+from repro.graph.stats import (
+    degeneracy_order,
+    degree_histogram,
+    num_components,
+    summarize,
+    triangle_count,
+)
+
+
+class TestTriangleCount:
+    def test_complete(self):
+        # C(n, 3) triangles in K_n
+        for n in (3, 4, 5, 6, 7):
+            assert triangle_count(gen.complete_graph(n)) == n * (n - 1) * (n - 2) // 6
+
+    def test_triangle_free(self):
+        assert triangle_count(gen.cycle_graph(8)) == 0
+        assert triangle_count(gen.star_graph(6)) == 0
+        assert triangle_count(gen.grid_graph(4, 4)) == 0
+
+    def test_matches_networkx(self):
+        g = gen.erdos_renyi(60, 0.12, seed=9)
+        import networkx as nx
+
+        expected = sum(nx.triangles(g.to_networkx()).values()) // 3
+        assert triangle_count(g) == expected
+
+    def test_fig2_graph(self):
+        g = CSRGraph.from_edges(
+            [(0, 1), (0, 2), (1, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7)]
+        )
+        assert triangle_count(g) == 1
+
+
+class TestDegeneracy:
+    def test_complete(self):
+        _, d = degeneracy_order(gen.complete_graph(6))
+        assert d == 5
+
+    def test_tree(self):
+        _, d = degeneracy_order(gen.path_graph(10))
+        assert d == 1
+
+    def test_order_is_permutation(self):
+        g = gen.barabasi_albert(40, 3, seed=2)
+        order, d = degeneracy_order(g)
+        assert sorted(order.tolist()) == list(range(40))
+        assert d >= 3
+
+    def test_matches_networkx_core_number(self):
+        import networkx as nx
+
+        g = gen.erdos_renyi(50, 0.15, seed=3)
+        _, d = degeneracy_order(g)
+        assert d == max(nx.core_number(g.to_networkx()).values())
+
+
+class TestComponents:
+    def test_connected(self):
+        assert num_components(gen.complete_graph(5)) == 1
+
+    def test_disconnected(self):
+        g = CSRGraph.from_edges([(0, 1), (2, 3)], num_vertices=6)
+        assert num_components(g) == 4  # two edges + two isolated vertices
+
+    def test_empty(self):
+        assert num_components(CSRGraph.from_edges([], num_vertices=0)) == 0
+
+
+class TestSummary:
+    def test_summarize_fields(self):
+        g = gen.star_graph(9)
+        s = summarize(g, "star", "test", "unit")
+        assert s.vertices == 10
+        assert s.edges == 9
+        assert s.max_degree == 9
+        assert s.avg_degree == pytest.approx(18 / 10)
+        row = s.as_row()
+        assert row[0] == "star" and row[3] == 10
+
+    def test_degree_histogram(self):
+        g = gen.star_graph(4)
+        hist = degree_histogram(g)
+        assert hist[1] == 4 and hist[4] == 1
+        assert int(np.sum(hist)) == 5

@@ -1,0 +1,98 @@
+"""Tests for Venn-diagram computation (all four implementations)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.venn import venn_batch, venn_hash, venn_merge, venn_sorted
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+
+
+def brute_force_venn(graph, anchors, core):
+    """Independent reference: classify every graph vertex by adjacency."""
+    q = len(anchors)
+    core_set = set(core)
+    venn = [0] * (1 << q)
+    for x in range(graph.num_vertices):
+        if x in core_set:
+            continue
+        mask = 0
+        for i, a in enumerate(anchors):
+            if graph.has_edge(a, x):
+                mask |= 1 << i
+        if mask:
+            venn[mask] += 1
+    return venn
+
+
+IMPLS = [venn_hash, venn_sorted, venn_merge]
+
+
+@pytest.fixture
+def graph():
+    return gen.erdos_renyi(40, 0.2, seed=11)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("impl", IMPLS, ids=["hash", "sorted", "merge"])
+    @pytest.mark.parametrize("q", [1, 2, 3, 4])
+    def test_random_anchor_sets(self, graph, impl, q):
+        rng = random.Random(q)
+        for _ in range(25):
+            anchors = rng.sample(range(graph.num_vertices), q)
+            extra_core = rng.sample(
+                [v for v in range(graph.num_vertices) if v not in anchors], 2
+            )
+            core = anchors + extra_core
+            assert impl(graph, anchors, core) == brute_force_venn(graph, anchors, core)
+
+    @pytest.mark.parametrize("impl", IMPLS, ids=["hash", "sorted", "merge"])
+    def test_isolated_anchor(self, impl):
+        g = CSRGraph.from_edges([(0, 1)], num_vertices=3)
+        assert impl(g, [2, 0], [2, 0]) == [0, 0, 1, 0]
+
+    @pytest.mark.parametrize("impl", IMPLS, ids=["hash", "sorted", "merge"])
+    def test_paper_2core_example(self, impl):
+        """Tailed-triangle sets from §3.1: n_u, n_v, n_uv on a known graph."""
+        # u=0, v=1 adjacent; 2 common; 3 only-u; 4 only-v
+        g = CSRGraph.from_edges([(0, 1), (0, 2), (1, 2), (0, 3), (1, 4)])
+        venn = impl(g, [0, 1], [0, 1])
+        assert venn[0b01] == 1  # s_u = {3}
+        assert venn[0b10] == 1  # s_v = {4}
+        assert venn[0b11] == 1  # s_uv = {2}
+
+
+class TestBatch:
+    def test_matches_reference(self, graph):
+        rng = random.Random(3)
+        rows, cores = [], []
+        for _ in range(150):
+            anchors = rng.sample(range(graph.num_vertices), 3)
+            extra = rng.choice([v for v in range(graph.num_vertices) if v not in anchors])
+            rows.append(anchors)
+            cores.append(anchors + [extra])
+        out = venn_batch(graph, np.asarray(rows), np.asarray(cores))
+        for i in range(len(rows)):
+            assert out[i].tolist() == brute_force_venn(graph, rows[i], cores[i])
+
+    def test_empty_batch(self, graph):
+        out = venn_batch(
+            graph, np.zeros((0, 2), dtype=np.int64), np.zeros((0, 2), dtype=np.int64)
+        )
+        assert out.shape == (0, 4)
+
+    def test_degree_zero_anchor(self):
+        g = CSRGraph.from_edges([(0, 1)], num_vertices=4)
+        out = venn_batch(g, np.asarray([[2, 0]]), np.asarray([[2, 0]]))
+        assert out[0].tolist() == [0, 0, 1, 0]
+
+    def test_large_batch_consistency(self):
+        g = gen.kronecker(7, 8, seed=4)
+        rng = random.Random(1)
+        n = g.num_vertices
+        rows = np.asarray([rng.sample(range(n), 3) for _ in range(1000)])
+        out = venn_batch(g, rows, rows)
+        for i in random.Random(2).sample(range(1000), 40):
+            assert out[i].tolist() == venn_hash(g, rows[i].tolist(), rows[i].tolist())
