@@ -29,13 +29,13 @@ def workload():
 
 def test_flat_eval(benchmark, workload, results_dir):
     poly, venns = workload
-    out = benchmark(lambda: poly._per_row_float(venns))
+    benchmark(lambda: poly._per_row_float(venns))
     _record(results_dir, "flat", benchmark.stats.stats.mean, poly.num_terms)
 
 
 def test_horner_eval(benchmark, workload, results_dir):
     poly, venns = workload
-    out = benchmark(lambda: poly.per_row_float_horner(venns))
+    benchmark(lambda: poly.per_row_float_horner(venns))
     _record(results_dir, "horner", benchmark.stats.stats.mean, poly.num_terms)
 
 

@@ -8,7 +8,6 @@ summary pipeline.
 import json
 
 from repro.graph import datasets
-from repro.graph.stats import summarize
 
 
 def test_table1_generation(benchmark, results_dir):

@@ -2,27 +2,45 @@
 
 Public entry points:
 
-* :func:`repro.count_subgraphs` — count a pattern in a graph;
+* :func:`repro.count_subgraphs` — count a pattern in a graph (plan-cached
+  through the process-wide :class:`repro.Runtime`);
 * :class:`repro.FringeCounter` — pattern-compiled counter for many graphs;
+* :class:`repro.Runtime` / :func:`repro.get_runtime` — the serving front
+  door: LRU plan cache, backend routing, execution stats;
+* :func:`repro.compile_pattern` — build a reusable, picklable
+  :class:`repro.CountingPlan` by hand;
 * :mod:`repro.graph` — CSR graphs, generators, datasets, I/O;
 * :mod:`repro.patterns` — pattern type, catalog, decomposition.
 """
 
-from .core.engine import CountResult, EngineConfig, FringeCounter, count_subgraphs
+from .core.engine import (
+    CountResult,
+    EngineConfig,
+    ExecutionStats,
+    FringeCounter,
+    count_subgraphs,
+)
 from .core.multi import MultiPatternCounter, count_many
+from .core.plan import CountingPlan, compile_pattern
 from .graph.csr import CSRGraph
 from .patterns.pattern import Pattern
 from .patterns import catalog
+from .runtime import Runtime, get_runtime
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CountResult",
+    "CountingPlan",
+    "ExecutionStats",
     "MultiPatternCounter",
+    "Runtime",
     "count_many",
+    "compile_pattern",
     "EngineConfig",
     "FringeCounter",
     "count_subgraphs",
+    "get_runtime",
     "CSRGraph",
     "Pattern",
     "catalog",

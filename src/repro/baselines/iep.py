@@ -26,7 +26,6 @@ adding any other vertex degrades throughput (matching Fig. 9–11).
 
 from __future__ import annotations
 
-import math
 import time
 
 from ..core.matcher import build_plan, match_cores

@@ -22,12 +22,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.engine import EngineConfig, FringeCounter
-from ..core.matcher import match_cores
-from ..core.fringe_count import fc_recursive
-from ..core.venn import venn_hash
+from ..core.backends import SerialBackend
+from ..core.engine import EngineConfig
+from ..core.plan import compile_pattern
 from ..graph.csr import CSRGraph
-from ..patterns.decompose import decompose
 from ..patterns.pattern import Pattern
 
 __all__ = ["SampledCount", "estimate_count"]
@@ -69,17 +67,18 @@ def estimate_count(
         exact = graph.num_vertices if pattern.n == 1 else graph.num_edges
         return SampledCount(float(exact), 0.0, 0, graph.num_vertices)
 
-    counter = FringeCounter(pattern, config=EngineConfig(fc_impl="recursive"))
+    plan = compile_pattern(pattern, EngineConfig(fc_impl="recursive"))
+    backend = SerialBackend()
     n = graph.num_vertices
     rng = np.random.default_rng(seed)
     take = min(samples, n)
     roots = rng.choice(n, size=take, replace=False)
 
-    scale = counter.plan.group_order / counter.denominator
+    scale = plan.group_order / plan.denominator
     masses = np.empty(take, dtype=np.float64)
     for i, root in enumerate(roots.tolist()):
-        sigma, _ = counter._core_sum_with_stats(graph, [int(root)])
-        masses[i] = float(sigma) * scale
+        partial = backend.run(plan, graph, start_vertices=[int(root)])
+        masses[i] = float(partial.sigma) * scale
 
     mean = float(masses.mean())
     estimate = mean * n

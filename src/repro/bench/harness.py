@@ -24,9 +24,9 @@ from ..baselines import (
     StackEnumerator,
     TDFSCounter,
 )
-from ..core.engine import EngineConfig, FringeCounter, count_subgraphs
 from ..graph.csr import CSRGraph
 from ..patterns.pattern import Pattern
+from ..runtime import Runtime
 
 __all__ = ["Measurement", "CellResult", "SYSTEMS", "run_cell", "run_figure", "geomean", "FigureResult"]
 
@@ -52,13 +52,15 @@ class Measurement:
 # ----------------------------------------------------------------------
 # systems under test
 # ----------------------------------------------------------------------
-def _fringe_runner(pattern: Pattern):
-    counter = None
+# Dedicated runtime for benchmark runs: the plan cache amortizes pattern
+# compilation across the inputs of a figure without polluting (or being
+# skewed by) the process-wide serving runtime.
+_BENCH_RUNTIME = Runtime()
 
+
+def _fringe_runner(pattern: Pattern):
     def run(graph: CSRGraph, timeout_s: float) -> int | None:
-        nonlocal counter
-        res = count_subgraphs(graph, pattern)
-        return res.count
+        return _BENCH_RUNTIME.count(graph, pattern).count
 
     return run
 

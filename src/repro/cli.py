@@ -10,6 +10,15 @@ Commands
         python -m repro count --dataset kron_g500-logn20 --pattern 4-star
         python -m repro count --dataset internet --pattern fig4 --engine general
 
+    Engine knobs and the parallel path are reachable without writing
+    Python: ``--workers N --schedule strided`` selects the fork-pool
+    backend, ``--venn-impl/--fc-impl/--batch-size`` tune the general
+    engine, and ``--stats`` prints the runtime's per-stage breakdown
+    (compile vs. match vs. venn/fc time, plan-cache hits/misses)::
+
+        python -m repro count --dataset internet --pattern diamond \
+            --workers 8 --schedule dynamic --stats
+
 ``decompose``
     Show a pattern's core/fringe decomposition and matching order::
 
@@ -35,9 +44,11 @@ from __future__ import annotations
 import argparse
 import time
 
-from .core.engine import EngineConfig, count_subgraphs
+from .core.engine import EngineConfig
+from .core.venn import VENN_IMPLS
 from .graph import datasets
 from .graph.io import load_graph
+from .parallel.schedule import SCHEDULES
 from .patterns.decompose import decompose
 from .patterns.dsl import parse_pattern, pattern_names
 
@@ -61,17 +72,39 @@ def _add_graph_args(p: argparse.ArgumentParser) -> None:
 
 
 def _cmd_count(args) -> int:
+    from .parallel.pool import ParallelConfig
+    from .runtime import get_runtime
+
     graph, gname = _load_graph(args)
     pattern = parse_pattern(args.pattern)
-    cfg = EngineConfig()
+    cfg = EngineConfig(
+        venn_impl=args.venn_impl,
+        fc_impl=args.fc_impl,
+        batch_size=args.batch_size,
+    )
+    parallel = (
+        ParallelConfig(num_workers=args.workers, schedule=args.schedule)
+        if args.workers > 1
+        else None
+    )
+    runtime = get_runtime()
     t0 = time.perf_counter()
-    res = count_subgraphs(graph, pattern, engine=args.engine, config=cfg)
+    res = runtime.count(graph, pattern, engine=args.engine, config=cfg, parallel=parallel)
     dt = time.perf_counter() - t0
     print(f"graph    : {gname} ({graph.num_vertices:,} vertices, {graph.num_edges:,} edges)")
     print(f"pattern  : {args.pattern} ({pattern.n} vertices, {pattern.num_edges} edges)")
     print(f"count    : {res.count:,}")
     print(f"engine   : {res.engine}")
     print(f"time     : {dt:.3f} s  ({graph.num_edges / dt:,.0f} edges/s)")
+    if args.stats and res.stats is not None:
+        s = res.stats
+        print(f"backend  : {s.backend}")
+        print(f"plan     : {'cache hit' if s.plan_cache_hit else 'compiled'} "
+              f"(compile {s.compile_s*1e3:.2f} ms; runtime cache "
+              f"{s.cache_hits} hits / {s.cache_misses} misses)")
+        print(f"execute  : {s.execute_s*1e3:.2f} ms  "
+              f"(match {s.match_s*1e3:.2f} ms, venn/fc {s.venn_fc_s*1e3:.2f} ms, "
+              f"{s.batches_flushed} batches)")
     return 0
 
 
@@ -143,6 +176,18 @@ def main(argv: list[str] | None = None) -> int:
     _add_graph_args(p)
     p.add_argument("--pattern", required=True, help="pattern expression (DSL)")
     p.add_argument("--engine", default="auto", choices=["auto", "general", "specialized"])
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (>1 enables the fork-pool backend)")
+    p.add_argument("--schedule", default="dynamic", choices=list(SCHEDULES),
+                   help="work-distribution strategy for --workers > 1")
+    p.add_argument("--venn-impl", default="sorted", choices=sorted(VENN_IMPLS),
+                   help="per-match Venn implementation")
+    p.add_argument("--fc-impl", default="poly", choices=["poly", "recursive", "iterative"],
+                   help="fringe-count implementation (poly = vectorized batches)")
+    p.add_argument("--batch-size", type=int, default=4096,
+                   help="matches per vectorized batch (poly mode)")
+    p.add_argument("--stats", action="store_true",
+                   help="print runtime stats (compile/match/venn-fc time, plan cache)")
     p.set_defaults(fn=_cmd_count)
 
     p = sub.add_parser("decompose", help="show a pattern's core/fringe split")

@@ -1,7 +1,29 @@
-"""The Fringe-SGC core: binomials, Venn diagrams, fc, matcher, engines."""
+"""The Fringe-SGC core: binomials, Venn diagrams, fc, matcher, engines.
 
+Layered architecture (DESIGN.md §7): :mod:`repro.core.plan` compiles
+patterns into frozen plans, :mod:`repro.core.backends` executes plans
+over graphs, and :class:`repro.runtime.Runtime` fronts both with an LRU
+plan cache.
+"""
+
+from .backends import (
+    Backend,
+    BatchBackend,
+    MultiprocessBackend,
+    PartialSum,
+    SerialBackend,
+    select_backend,
+)
 from .binomial import PascalTable, nCk, nck_array
-from .engine import CountResult, EngineConfig, FringeCounter, count_subgraphs, injective_core_sum
+from .engine import (
+    CountResult,
+    EngineConfig,
+    ExecutionStats,
+    FringeCounter,
+    count_subgraphs,
+    injective_core_sum,
+)
+from .plan import CountingPlan, compile_pattern, exact_divide, plan_key
 from .listing import CoreMatch, iter_core_matches, per_vertex_counts, top_cores
 from .multi import MultiPatternCounter, count_many
 from .fringe_count import count_fringe_choices, fc_iterative, fc_recursive
@@ -9,6 +31,17 @@ from .matcher import CorePlan, build_plan, count_core_matches, match_cores
 from .venn import VENN_IMPLS, venn_hash, venn_merge, venn_sorted
 
 __all__ = [
+    "Backend",
+    "BatchBackend",
+    "MultiprocessBackend",
+    "PartialSum",
+    "SerialBackend",
+    "select_backend",
+    "CountingPlan",
+    "compile_pattern",
+    "exact_divide",
+    "plan_key",
+    "ExecutionStats",
     "PascalTable",
     "CoreMatch",
     "iter_core_matches",

@@ -1,0 +1,263 @@
+"""The Backend layer: execution substrates for a compiled CountingPlan.
+
+A backend turns a :class:`~repro.core.plan.CountingPlan` plus a graph
+(and an optional start-vertex slice — the unit of work distribution) into
+a :class:`PartialSum`: the raw symmetry-reduced ordered-embedding sum
+``sigma`` and the number of core matches visited. Backends never
+normalize; :meth:`CountingPlan.normalize` is the single shared
+normalization path.
+
+Three substrates mirror the paper's execution models:
+
+* :class:`SerialBackend` — the per-match Venn + fc pipeline (Listing 5);
+* :class:`BatchBackend` — the vectorized fringe-polynomial formulation
+  (one batched Venn pass per ``batch_size`` matches — the data-parallel
+  shape the CUDA kernel uses);
+* :class:`MultiprocessBackend` — fork-pool distribution of start-vertex
+  chunks across workers, each running an inner backend; the read-only CSR
+  graph and the plan are shared copy-on-write, never pickled.
+
+This is the seam the GraphBLAS-style multi-backend papers advocate: one
+logical algorithm, several execution substrates, all interchangeable and
+all cross-checked in the test suite.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .fringe_count import fc_iterative, fc_recursive
+from .matcher import match_cores
+from .plan import CountingPlan
+from .venn import VENN_IMPLS, venn_batch
+
+__all__ = [
+    "PartialSum",
+    "Backend",
+    "SerialBackend",
+    "BatchBackend",
+    "MultiprocessBackend",
+    "select_backend",
+]
+
+
+@dataclass(frozen=True)
+class PartialSum:
+    """A backend's contribution: raw sums plus execution substatistics.
+
+    ``sigma`` is Σ F_sets over the visited symmetry-reduced core
+    embeddings (un-normalized); ``matches`` counts those embeddings.
+    ``venn_fc_s`` is the time spent in Venn + fringe-count evaluation
+    (as opposed to core matching); ``batches`` counts vectorized batch
+    flushes. Partial sums add, so reductions are one ``sum()``.
+    """
+
+    sigma: int = 0
+    matches: int = 0
+    venn_fc_s: float = 0.0
+    batches: int = 0
+
+    def __add__(self, other: "PartialSum") -> "PartialSum":
+        return PartialSum(
+            sigma=self.sigma + other.sigma,
+            matches=self.matches + other.matches,
+            venn_fc_s=self.venn_fc_s + other.venn_fc_s,
+            batches=self.batches + other.batches,
+        )
+
+    __radd__ = __add__
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Anything that can execute a CountingPlan over a graph slice."""
+
+    name: str
+
+    def run(
+        self,
+        plan: CountingPlan,
+        graph: CSRGraph,
+        start_vertices: Sequence[int] | None = None,
+    ) -> PartialSum: ...
+
+
+def _count_matches_only(plan, graph, start_vertices) -> PartialSum:
+    """q == 0 (no anchored fringes): every core embedding contributes 1."""
+    matches = sum(1 for _ in match_cores(graph, plan.core_plan, start_vertices=start_vertices))
+    return PartialSum(sigma=matches, matches=matches)
+
+
+class SerialBackend:
+    """Per-match Venn + fc evaluation (the paper's Listing 5 pipeline)."""
+
+    name = "serial"
+
+    def run(
+        self,
+        plan: CountingPlan,
+        graph: CSRGraph,
+        start_vertices: Sequence[int] | None = None,
+    ) -> PartialSum:
+        if plan.q == 0:
+            return _count_matches_only(plan, graph, start_vertices)
+        cfg = plan.config
+        venn_fn = VENN_IMPLS[cfg.venn_impl]
+        fc = fc_recursive if cfg.fc_impl == "recursive" else fc_iterative
+        anch, k, q = plan.anch, plan.k, plan.q
+        positions = plan.anchored_positions
+        total = 0
+        matches = 0
+        venn_fc_s = 0.0
+        for match in match_cores(graph, plan.core_plan, start_vertices=start_vertices):
+            matches += 1
+            t0 = time.perf_counter()
+            anchors = [match[i] for i in positions]
+            venn = venn_fn(graph, anchors, match)
+            total += fc(venn, anch, k, q)
+            venn_fc_s += time.perf_counter() - t0
+        return PartialSum(sigma=total, matches=matches, venn_fc_s=venn_fc_s)
+
+
+class BatchBackend:
+    """Vectorized fringe-polynomial evaluation over match batches."""
+
+    name = "batch"
+
+    def run(
+        self,
+        plan: CountingPlan,
+        graph: CSRGraph,
+        start_vertices: Sequence[int] | None = None,
+    ) -> PartialSum:
+        if plan.q == 0:
+            return _count_matches_only(plan, graph, start_vertices)
+        bs = plan.config.batch_size
+        positions = list(plan.anchored_positions)
+        poly = plan.poly
+        total = 0
+        matches = 0
+        batches = 0
+        venn_fc_s = 0.0
+        buf: list[tuple[int, ...]] = []
+
+        def flush() -> int:
+            core_matrix = np.asarray(buf, dtype=np.int64)
+            anchor_matrix = core_matrix[:, positions]
+            venns = venn_batch(graph, anchor_matrix, core_matrix)
+            return poly.evaluate_batch(venns)
+
+        for match in match_cores(graph, plan.core_plan, start_vertices=start_vertices):
+            matches += 1
+            buf.append(match)
+            if len(buf) >= bs:
+                t0 = time.perf_counter()
+                total += flush()
+                venn_fc_s += time.perf_counter() - t0
+                batches += 1
+                buf.clear()
+        if buf:
+            t0 = time.perf_counter()
+            total += flush()
+            venn_fc_s += time.perf_counter() - t0
+            batches += 1
+        return PartialSum(sigma=total, matches=matches, venn_fc_s=venn_fc_s, batches=batches)
+
+
+# ----------------------------------------------------------------------
+# multiprocess execution
+# ----------------------------------------------------------------------
+# fork-shared state (set in the parent immediately before the pool starts,
+# cleared in a finally). Forked children see it copy-on-write; nothing is
+# ever pickled through the pool besides chunk indices and PartialSums.
+_SHARED: dict = {}
+
+
+def _worker_run(chunk_ids: Sequence[int]) -> PartialSum:
+    plan: CountingPlan = _SHARED["plan"]
+    graph: CSRGraph = _SHARED["graph"]
+    chunks = _SHARED["chunks"]
+    inner: Backend = _SHARED["inner"]
+    out = PartialSum()
+    for ci in chunk_ids:
+        out += inner.run(plan, graph, start_vertices=chunks[ci])
+    return out
+
+
+class MultiprocessBackend:
+    """Fork-pool distribution of start-vertex chunks over an inner backend.
+
+    ``schedule`` picks the work-distribution strategy (§3.6): ``static``
+    contiguous ranges, ``strided`` interleaving, or ``dynamic`` fixed-size
+    chunks served from the pool's queue. With one worker (or one chunk)
+    the pool is bypassed entirely and the inner backend runs in-process —
+    without touching the fork-shared state.
+    """
+
+    name = "multiprocess"
+
+    def __init__(
+        self,
+        num_workers: int,
+        schedule: str = "dynamic",
+        chunk_size: int = 256,
+        inner: Backend | None = None,
+    ):
+        self.num_workers = num_workers
+        self.schedule = schedule
+        self.chunk_size = chunk_size
+        self.inner = inner
+
+    def _inner_for(self, plan: CountingPlan) -> Backend:
+        if self.inner is not None:
+            return self.inner
+        return select_backend(plan.config)
+
+    def run(
+        self,
+        plan: CountingPlan,
+        graph: CSRGraph,
+        start_vertices: Sequence[int] | None = None,
+    ) -> PartialSum:
+        # deferred: importing repro.parallel at module scope would cycle
+        # back through repro.core.engine during package initialization
+        from ..parallel.schedule import make_chunks
+
+        inner = self._inner_for(plan)
+        if start_vertices is not None:
+            # a pre-sliced call (e.g. nested distribution) runs in-process
+            return inner.run(plan, graph, start_vertices=start_vertices)
+        chunks = make_chunks(graph.num_vertices, self.num_workers, self.schedule, self.chunk_size)
+        if self.num_workers <= 1 or len(chunks) <= 1:
+            return inner.run(plan, graph, start_vertices=None)
+        _SHARED["plan"] = plan
+        _SHARED["graph"] = graph
+        _SHARED["chunks"] = chunks
+        _SHARED["inner"] = inner
+        try:
+            ctx = mp.get_context("fork")
+            with ctx.Pool(processes=self.num_workers) as pool:
+                # dynamic: many chunks round-robined by the pool's own
+                # work queue; static/strided: one chunk list per worker
+                jobs = [[i] for i in range(len(chunks))]
+                results = pool.map(_worker_run, jobs)
+        finally:
+            _SHARED.clear()
+        return sum(results, PartialSum())
+
+
+def select_backend(config, parallel=None) -> Backend:
+    """Map an EngineConfig (+ optional ParallelConfig) to a backend."""
+    if parallel is not None and getattr(parallel, "num_workers", 1) > 1:
+        return MultiprocessBackend(
+            num_workers=parallel.num_workers,
+            schedule=parallel.schedule,
+            chunk_size=parallel.chunk_size,
+        )
+    return BatchBackend() if config.fc_impl == "poly" else SerialBackend()

@@ -19,24 +19,37 @@ This bootstraps automorphism handling from the engine itself — no group
 enumeration ever happens, which matters because fringe-heavy patterns have
 astronomically large automorphism groups (``Π k_t!`` alone).
 
-Use :func:`count_subgraphs` for one-off counts or :class:`FringeCounter`
-to amortize pattern-side preprocessing over many graphs.
+The implementation is layered (DESIGN.md §7): :mod:`repro.core.plan`
+compiles patterns into frozen :class:`~repro.core.plan.CountingPlan`
+artifacts, :mod:`repro.core.backends` executes plans over graphs, and
+:class:`repro.runtime.Runtime` fronts both with an LRU plan cache.
+
+Use :func:`count_subgraphs` for one-off counts (it routes through the
+process-wide runtime, so repeated patterns hit the plan cache) or
+:class:`FringeCounter` to hold one compiled pattern explicitly.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..graph.csr import CSRGraph
-from ..patterns.decompose import Decomposition, decompose
+from ..patterns.decompose import Decomposition
 from ..patterns.pattern import Pattern
-from .fringe_count import fc_iterative, fc_recursive
-from .matcher import CorePlan, build_plan, match_cores
+from .backends import select_backend
+from .plan import CountingPlan, compile_pattern
 from .venn import VENN_IMPLS
 
-__all__ = ["EngineConfig", "CountResult", "FringeCounter", "count_subgraphs", "injective_core_sum"]
+__all__ = [
+    "EngineConfig",
+    "CountResult",
+    "ExecutionStats",
+    "FringeCounter",
+    "count_subgraphs",
+    "injective_core_sum",
+]
 
 
 @dataclass(frozen=True)
@@ -66,6 +79,29 @@ class EngineConfig:
 
 
 @dataclass(frozen=True)
+class ExecutionStats:
+    """Per-call breakdown of where a count's time went.
+
+    ``compile_s`` is pattern-compilation time (zero on a plan-cache hit);
+    ``execute_s`` is graph-side execution; ``venn_fc_s`` is the share of
+    execution spent in Venn/fringe-count evaluation and ``match_s`` the
+    core-matching remainder. ``cache_hits``/``cache_misses`` snapshot the
+    serving runtime's cumulative plan-cache counters (both zero when the
+    count did not go through a runtime).
+    """
+
+    backend: str = ""
+    plan_cache_hit: bool = False
+    compile_s: float = 0.0
+    execute_s: float = 0.0
+    match_s: float = 0.0
+    venn_fc_s: float = 0.0
+    batches_flushed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+@dataclass(frozen=True)
 class CountResult:
     """A count plus the run statistics the paper reports."""
 
@@ -75,6 +111,7 @@ class CountResult:
     elapsed_s: float
     engine: str
     decomposition: Decomposition | None = None
+    stats: ExecutionStats | None = None
 
     def throughput(self, graph_edges: int) -> float:
         """Edges per second — the paper's normalized metric (§6)."""
@@ -84,9 +121,11 @@ class CountResult:
 class FringeCounter:
     """Pattern-compiled Fringe-SGC counter.
 
-    Performs all pattern-side work once (decomposition, matching order,
-    symmetry restrictions, anchor bitsets, and the ``inj(P, P)``
-    denominator) and can then count the pattern in any number of graphs.
+    Thin stateful wrapper over a :class:`~repro.core.plan.CountingPlan`:
+    all pattern-side work happens once (at construction or in the plan
+    passed in) and is reused for any number of graphs. The historical
+    attribute surface (``decomp``, ``plan``, ``denominator``, ...) is
+    preserved for the listing/multi/gpusim layers built on top of it.
     """
 
     def __init__(
@@ -95,32 +134,20 @@ class FringeCounter:
         *,
         decomposition: Decomposition | None = None,
         config: EngineConfig | None = None,
+        plan: CountingPlan | None = None,
     ):
-        if not pattern.is_connected:
-            raise ValueError("Fringe-SGC counts connected patterns")
-        self.pattern = pattern
-        self.config = config or EngineConfig()
-        if pattern.n <= 2:
-            self.decomp = None
-            self.plan = None
-            self._denominator = 1
-            return
-        self.decomp = decomposition if decomposition is not None else decompose(pattern)
-        self.plan = build_plan(self.decomp, symmetry_breaking=self.config.symmetry_breaking)
-        self._anch, self._k = self.decomp.anchor_bitsets()
-        self._anchored_positions = tuple(
-            self.decomp.matching_order.index(c) for c in self.decomp.anchored
-        )
-        self._poly = None
-        if self.config.fc_impl == "poly":
-            from .fringe_poly import compile_fringe_polynomial
-
-            self._poly = compile_fringe_polynomial(self._anch, self._k, self.decomp.q)
-        # |Aut(P)| / Π k_t!  — the fringe method run on the pattern itself
-        pattern_as_graph = CSRGraph.from_edges(pattern.edges(), num_vertices=pattern.n)
-        self._denominator = self._core_sum(pattern_as_graph)
-        if self._denominator <= 0:
-            raise AssertionError("pattern must embed in itself")
+        if plan is None:
+            plan = compile_pattern(pattern, config or EngineConfig(), decomposition=decomposition)
+        self.counting_plan = plan
+        self.pattern = plan.pattern
+        self.config = plan.config
+        self.decomp = plan.decomp
+        self.plan = plan.core_plan
+        self._denominator = plan.denominator
+        if plan.decomp is not None:
+            self._anch, self._k = plan.anch, plan.k
+            self._anchored_positions = plan.anchored_positions
+            self._poly = plan.poly
 
     # ------------------------------------------------------------------
     @property
@@ -138,19 +165,27 @@ class FringeCounter:
 
     def count(self, graph: CSRGraph, *, start_vertices: Sequence[int] | None = None) -> CountResult:
         start = time.perf_counter()
+        cplan = self.counting_plan
+        backend = None
+        partial = None
         if self.pattern.n == 1:
             value, matches = graph.num_vertices, graph.num_vertices
         elif self.pattern.n == 2:
             value, matches = graph.num_edges, graph.num_edges
         else:
-            sigma, matches = self._core_sum_with_stats(graph, start_vertices)
-            total = sigma * self.plan.group_order
-            value, rem = divmod(total, self._denominator)
-            if rem:
-                raise AssertionError(
-                    f"non-integral count: {total} / {self._denominator} — engine bug"
-                )
+            backend = select_backend(self.config)
+            partial = backend.run(cplan, graph, start_vertices=start_vertices)
+            value = cplan.normalize(partial.sigma)
+            matches = partial.matches
         elapsed = time.perf_counter() - start
+        venn_fc_s = partial.venn_fc_s if partial else 0.0
+        stats = ExecutionStats(
+            backend=backend.name if backend else "trivial",
+            execute_s=elapsed,
+            match_s=max(0.0, elapsed - venn_fc_s),
+            venn_fc_s=venn_fc_s,
+            batches_flushed=partial.batches if partial else 0,
+        )
         return CountResult(
             count=value,
             pattern=self.pattern,
@@ -158,6 +193,7 @@ class FringeCounter:
             elapsed_s=elapsed,
             engine=f"fringe-general({self.config.venn_impl},{self.config.fc_impl})",
             decomposition=self.decomp,
+            stats=stats,
         )
 
     def core_sum(self, graph: CSRGraph) -> int:
@@ -167,6 +203,8 @@ class FringeCounter:
         return self._core_sum(graph)
 
     # ------------------------------------------------------------------
+    # compatibility delegates (pre-layering internal API)
+    # ------------------------------------------------------------------
     def _core_sum(self, graph: CSRGraph) -> int:
         sigma, _ = self._core_sum_with_stats(graph, None)
         return sigma * self.plan.group_order
@@ -175,52 +213,15 @@ class FringeCounter:
         self, graph: CSRGraph, start_vertices: Sequence[int] | None
     ) -> tuple[int, int]:
         """(Σ F_sets over symmetry-reduced core embeddings, #embeddings)."""
-        anch, k, q = self._anch, self._k, self.decomp.q
-        anchored_positions = self._anchored_positions
-        total = 0
-        matches = 0
-        if q == 0:
-            # no fringes at all: every core embedding contributes 1
-            for _ in match_cores(graph, self.plan, start_vertices=start_vertices):
-                matches += 1
-            return matches, matches
-
-        if self._poly is not None:
-            from .venn import venn_batch
-            import numpy as np
-
-            bs = self.config.batch_size
-            buf: list[tuple[int, ...]] = []
-            for match in match_cores(graph, self.plan, start_vertices=start_vertices):
-                matches += 1
-                buf.append(match)
-                if len(buf) >= bs:
-                    total += self._flush_batch(graph, buf)
-                    buf.clear()
-            if buf:
-                total += self._flush_batch(graph, buf)
-            return total, matches
-
-        venn_fn = VENN_IMPLS[self.config.venn_impl]
-        fc = fc_recursive if self.config.fc_impl == "recursive" else fc_iterative
-        for match in match_cores(graph, self.plan, start_vertices=start_vertices):
-            matches += 1
-            anchors = [match[i] for i in anchored_positions]
-            venn = venn_fn(graph, anchors, match)
-            total += fc(venn, anch, k, q)
-        return total, matches
-
-    def _flush_batch(self, graph: CSRGraph, buf: list[tuple[int, ...]]) -> int:
-        from .venn import venn_batch
-        import numpy as np
-
-        core_matrix = np.asarray(buf, dtype=np.int64)
-        anchor_matrix = core_matrix[:, list(self._anchored_positions)]
-        venns = venn_batch(graph, anchor_matrix, core_matrix)
-        return self._poly.evaluate_batch(venns)
+        partial = select_backend(self.config).run(
+            self.counting_plan, graph, start_vertices=start_vertices
+        )
+        return partial.sigma, partial.matches
 
 
-def injective_core_sum(graph: CSRGraph, decomp: Decomposition, *, config: EngineConfig | None = None) -> int:
+def injective_core_sum(
+    graph: CSRGraph, decomp: Decomposition, *, config: EngineConfig | None = None
+) -> int:
     """Σ over all ordered core embeddings of F_sets (module-level helper).
 
     Multiplied by ``Π k_t!`` this equals ``inj(P, G)``. Used by tests and
@@ -240,6 +241,9 @@ def count_subgraphs(
 ) -> CountResult:
     """Count edge-induced embeddings of ``pattern`` in ``graph``.
 
+    Routes through the process-wide :class:`repro.runtime.Runtime`, so
+    counting the same pattern again reuses its compiled plan.
+
     ``engine``:
 
     * ``"auto"`` — specialized closed-form engines for 1-/2-vertex cores
@@ -248,22 +252,8 @@ def count_subgraphs(
     * ``"general"`` — always the general matcher + Venn + fc pipeline;
     * ``"specialized"`` — require a specialized engine (raises if none).
     """
-    cfg = config or EngineConfig()
-    if engine not in ("auto", "general", "specialized"):
-        raise ValueError(f"unknown engine {engine!r}")
+    from ..runtime import get_runtime
 
-    if pattern.n <= 2 or engine == "general":
-        return FringeCounter(pattern, decomposition=decomposition, config=cfg).count(graph)
-
-    from . import specialized
-
-    decomp = decomposition if decomposition is not None else decompose(pattern)
-    if cfg.specialized or engine == "specialized":
-        special = specialized.dispatch(decomp)
-        if special is not None:
-            return special(graph)
-        if engine == "specialized":
-            raise ValueError(
-                f"no specialized engine for a {decomp.num_core}-vertex core"
-            )
-    return FringeCounter(pattern, decomposition=decomp, config=cfg).count(graph)
+    return get_runtime().count(
+        graph, pattern, engine=engine, decomposition=decomposition, config=config
+    )

@@ -29,7 +29,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from ..graph.csr import CSRGraph
 from ..patterns.decompose import Decomposition

@@ -17,7 +17,7 @@ materializing anything.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -103,7 +103,6 @@ def match_cores(
     p = len(plan.order)
     rowptr, colidx = graph.rowptr, graph.colidx
     degrees = graph.degrees
-    n = graph.num_vertices
 
     if start_vertices is None:
         roots = np.nonzero(degrees >= plan.min_degree[0])[0]

@@ -24,9 +24,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.csr import CSRGraph
-from ..patterns.decompose import Decomposition, decompose
 from ..patterns.pattern import Pattern
 from .engine import CountResult, EngineConfig, FringeCounter
+from .plan import exact_divide
 from .matcher import match_cores
 from .venn import venn_batch
 
@@ -133,9 +133,7 @@ class MultiPatternCounter:
             elapsed = time.perf_counter() - start
             for m in members:
                 total = m.sigma * m.counter.plan.group_order
-                value, rem = divmod(total, m.counter.denominator)
-                if rem:
-                    raise AssertionError(f"non-integral count for {m.name}")
+                value = exact_divide(total, m.counter.denominator, f"count for {m.name}")
                 out[m.name] = CountResult(
                     count=value,
                     pattern=m.counter.pattern,

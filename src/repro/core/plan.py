@@ -1,0 +1,215 @@
+"""The Plan layer: frozen, picklable pattern-compilation artifacts.
+
+Fringe-SGC's performance model rests on a strict split between
+*pattern-side* work (done once per pattern, amortized over every graph
+and every call) and *graph-side* work (done per input). This module owns
+the pattern side. :func:`compile_pattern` bundles everything the
+execution backends need into one immutable :class:`CountingPlan`:
+
+* the core/fringe :class:`~repro.patterns.decompose.Decomposition`;
+* the matcher's :class:`~repro.core.matcher.CorePlan` (matching order,
+  degree filters, symmetry restrictions, group order);
+* the ``(anch, k)`` anchor bitsets and the compiled
+  :class:`~repro.core.fringe_poly.FringePolynomial`;
+* the specialized-engine dispatch decision (paper §3.4's dedicated code
+  for 1-/2-/3-vertex cores);
+* the structural normalizer ``inj(P, P) / Π k_t!``.
+
+Plans are value objects: they hold no graph state, pickle cleanly (so
+they cross process boundaries and can be persisted), and are keyed by a
+deterministic :func:`plan_key` (canonical pattern form + config) — the
+cache key the :class:`repro.runtime.Runtime` LRU uses.
+
+Normalization — ``sigma * group_order / denominator`` with the
+non-integrality assertion — lives *only* here (:func:`exact_divide` /
+:meth:`CountingPlan.normalize`); every backend and engine shares it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from ..graph.csr import CSRGraph
+from ..patterns.decompose import Decomposition, decompose
+from ..patterns.pattern import Pattern
+from .fringe_poly import FringePolynomial, compile_fringe_polynomial
+from .matcher import CorePlan, build_plan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> plan)
+    from .engine import EngineConfig
+
+__all__ = ["CountingPlan", "compile_pattern", "plan_key", "exact_divide"]
+
+# Specialized-engine kinds by core size (paper §3.4). The *decision* is a
+# pure function of the decomposition; the engine object itself is built
+# lazily (and cached on the plan) because its constructor performs the
+# pattern-side precomputation.
+_SPECIALIZED_KINDS = {1: "vertex-core", 2: "edge-core", 3: "3-core"}
+
+
+def exact_divide(total: int, denominator: int, context: str = "count") -> int:
+    """The one normalization code path shared by every engine and backend.
+
+    Divides the raw ordered-embedding sum by the structural normalizer and
+    asserts integrality — a non-zero remainder always indicates an engine
+    bug (or, for partitioned runs, an insufficient halo).
+    """
+    value, rem = divmod(total, denominator)
+    if rem:
+        raise AssertionError(
+            f"non-integral {context}: {total} / {denominator} — engine bug"
+        )
+    return value
+
+
+def plan_key(pattern: Pattern, config: "EngineConfig") -> tuple:
+    """Deterministic cache key: canonical pattern form + config.
+
+    Small patterns (n <= 9) use the exact canonical certificate, so
+    isomorphic patterns share one plan regardless of vertex labeling.
+    Larger patterns fall back to their labeled edge set — still
+    deterministic, merely label-sensitive (the brute-force canonical form
+    is exponential in n).
+    """
+    if pattern.n <= 9:
+        pat_key = pattern.canonical_key()
+    else:
+        pat_key = ("labeled", pattern.n, tuple(sorted(pattern.edges())))
+    return (pat_key, config)
+
+
+@dataclass(frozen=True, eq=False)  # identity semantics: poly holds arrays
+class CountingPlan:
+    """Everything pattern-side, compiled once and reused across inputs.
+
+    For trivial patterns (n <= 2) only ``pattern``/``config`` are
+    meaningful: ``decomp`` and ``core_plan`` are ``None`` and the
+    denominator is 1 (the runtime counts vertices/edges directly).
+    """
+
+    pattern: Pattern
+    config: "EngineConfig"
+    key: tuple
+    decomp: Decomposition | None
+    core_plan: CorePlan | None
+    anch: tuple[int, ...]
+    k: tuple[int, ...]
+    anchored_positions: tuple[int, ...]
+    poly: FringePolynomial | None
+    specialized_kind: str | None
+    denominator: int
+    # one-slot lazy cache for the constructed specialized engine; not part
+    # of the plan's value (compare=False) and rebuilt after unpickling
+    _specialized_cache: list = field(
+        default=None, compare=False, repr=False, hash=False
+    )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_trivial(self) -> bool:
+        return self.pattern.n <= 2
+
+    @property
+    def q(self) -> int:
+        return self.decomp.q if self.decomp is not None else 0
+
+    @property
+    def group_order(self) -> int:
+        return self.core_plan.group_order if self.core_plan is not None else 1
+
+    def normalize(self, sigma: int, *, context: str = "count") -> int:
+        """``sigma * group_order / denominator`` — the single shared
+        normalization (see :func:`exact_divide`)."""
+        return exact_divide(sigma * self.group_order, self.denominator, context)
+
+    def specialized_engine(self):
+        """The dispatched closed-form engine, or None (built lazily)."""
+        if self.specialized_kind is None:
+            return None
+        cache = self._specialized_cache
+        if cache is None:
+            cache = []
+            object.__setattr__(self, "_specialized_cache", cache)
+        if not cache:
+            from . import specialized
+
+            cache.append(specialized.dispatch(self.decomp))
+        return cache[0]
+
+    def __repr__(self) -> str:  # keep the (potentially huge) poly out
+        return (
+            f"CountingPlan(pattern={self.pattern!r}, "
+            f"denominator={self.denominator}, "
+            f"specialized={self.specialized_kind!r})"
+        )
+
+
+def compile_pattern(
+    pattern: Pattern,
+    config: "EngineConfig | None" = None,
+    *,
+    decomposition: Decomposition | None = None,
+) -> CountingPlan:
+    """Perform all pattern-side work and freeze it into a CountingPlan.
+
+    ``decomposition`` overrides the paper's heuristic core choice (any
+    valid core yields the same counts); plans built from an explicit
+    decomposition are still valid cache values but the runtime never
+    caches them, since the key cannot see the core choice.
+    """
+    from .engine import EngineConfig
+
+    cfg = config or EngineConfig()
+    if not pattern.is_connected:
+        raise ValueError("Fringe-SGC counts connected patterns")
+    key = plan_key(pattern, cfg)
+
+    if pattern.n <= 2:
+        return CountingPlan(
+            pattern=pattern,
+            config=cfg,
+            key=key,
+            decomp=None,
+            core_plan=None,
+            anch=(),
+            k=(),
+            anchored_positions=(),
+            poly=None,
+            specialized_kind=None,
+            denominator=1,
+        )
+
+    decomp = decomposition if decomposition is not None else decompose(pattern)
+    core_plan = build_plan(decomp, symmetry_breaking=cfg.symmetry_breaking)
+    anch, k = decomp.anchor_bitsets()
+    anchored_positions = tuple(decomp.matching_order.index(c) for c in decomp.anchored)
+    # the polynomial is always compiled: it is the batch backend's kernel,
+    # it feeds MultiPatternCounter, and it makes the plan self-contained
+    # regardless of which fc_impl the caller later selects
+    poly = compile_fringe_polynomial(anch, k, decomp.q)
+
+    draft = CountingPlan(
+        pattern=pattern,
+        config=cfg,
+        key=key,
+        decomp=decomp,
+        core_plan=core_plan,
+        anch=anch,
+        k=k,
+        anchored_positions=anchored_positions,
+        poly=poly,
+        specialized_kind=_SPECIALIZED_KINDS.get(decomp.num_core),
+        denominator=1,
+    )
+    # |Aut(P)| / Π k_t! — the fringe method run on the pattern itself
+    # (DESIGN.md §1), evaluated through the same backend machinery that
+    # will consume the plan.
+    from .backends import BatchBackend
+
+    pattern_graph = CSRGraph.from_edges(pattern.edges(), num_vertices=pattern.n)
+    partial = BatchBackend().run(draft, pattern_graph)
+    denominator = partial.sigma * core_plan.group_order
+    if denominator <= 0:
+        raise AssertionError("pattern must embed in itself")
+    return replace(draft, denominator=denominator)

@@ -29,7 +29,7 @@ from ..graph.csr import CSRGraph
 from ..patterns.decompose import Decomposition
 from .binomial import nCk, nck_array
 from .engine import CountResult
-from .fringe_count import fc_recursive
+from .plan import exact_divide
 
 __all__ = ["dispatch", "VertexCoreEngine", "EdgeCoreEngine", "ThreeCoreEngine", "common_neighbor_counts"]
 
@@ -75,9 +75,7 @@ class VertexCoreEngine:
     def __call__(self, graph: CSRGraph) -> CountResult:
         start = time.perf_counter()
         total = self._sum_over(graph.degrees)
-        value, rem = divmod(total, self.denominator)
-        if rem:
-            raise AssertionError("non-integral k-star count")
+        value = exact_divide(total, self.denominator, "k-star count")
         matches = int(np.count_nonzero(graph.degrees >= self.k))
         return CountResult(
             count=value,
@@ -179,9 +177,7 @@ class EdgeCoreEngine:
             for idx in np.nonzero(risky)[0].tolist():
                 cu, cv, cc = int(nu[idx]), int(nv[idx]), int(c[idx])
                 total += self._f_exact(cu, cv, cc) + self._f_exact(cv, cu, cc)
-        value, rem = divmod(total, self.denominator)
-        if rem:
-            raise AssertionError("non-integral edge-core count")
+        value = exact_divide(total, self.denominator, "edge-core count")
         return CountResult(
             count=value,
             pattern=self.decomp.pattern,
@@ -331,9 +327,7 @@ class ThreeCoreEngine:
     def __call__(self, graph: CSRGraph) -> CountResult:
         start = time.perf_counter()
         total, instances = self._sum_over_graph(graph)
-        value, rem = divmod(total, self.denominator)
-        if rem:
-            raise AssertionError("non-integral 3-core count")
+        value = exact_divide(total, self.denominator, "3-core count")
         return CountResult(
             count=value,
             pattern=self.decomp.pattern,

@@ -27,8 +27,6 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
-import numpy as np
-
 from ..graph.csr import CSRGraph
 from .warp import WARP_SIZE, LaneOp, WarpStats, ballot, run_warp
 
@@ -127,7 +125,6 @@ def venn_binary_search_programs(
     paper exploits. The simulator's transaction counter shows it.
     """
     start, end = _adj_span(graph, int(anchor))
-    entries = graph.colidx[start:end]
     spans = [_adj_span(graph, int(o)) for o in others]
 
     def lane(lane_id: int) -> Iterator[LaneOp]:

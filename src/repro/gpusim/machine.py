@@ -16,7 +16,7 @@ The ablation benchmarks use this to reproduce two paper claims:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np

@@ -22,8 +22,8 @@ divergence model and returns :class:`WarpStats`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 __all__ = [
     "WARP_SIZE",

@@ -2,7 +2,7 @@
 
 from .partition import Partition, ghost_width, partition_graph, partitioned_count
 from .pool import ParallelConfig, parallel_count
-from .schedule import dynamic_chunks, make_chunks, static_contiguous, static_strided
+from .schedule import SCHEDULES, dynamic_chunks, make_chunks, static_contiguous, static_strided
 
 __all__ = [
     "Partition",
@@ -11,6 +11,7 @@ __all__ = [
     "partitioned_count",
     "ParallelConfig",
     "parallel_count",
+    "SCHEDULES",
     "dynamic_chunks",
     "make_chunks",
     "static_contiguous",

@@ -25,13 +25,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
 from ..core.engine import CountResult, EngineConfig, FringeCounter
 from ..graph.csr import CSRGraph
-from ..patterns.decompose import Decomposition, decompose
+from ..patterns.decompose import Decomposition
 from ..patterns.pattern import Pattern
 
 __all__ = ["Partition", "partition_graph", "ghost_width", "partitioned_count"]
@@ -138,26 +137,28 @@ def partitioned_count(
     """
     import time
 
+    from ..core.backends import select_backend
+    from ..core.plan import compile_pattern
+
     start = time.perf_counter()
     cfg = config or EngineConfig()
-    counter = FringeCounter(pattern, decomposition=decomposition, config=cfg)
     if pattern.n <= 2:
-        return counter.count(graph)
-    decomp = counter.decomp
+        return FringeCounter(pattern, config=cfg).count(graph)
+    # one compiled plan shared by every partition pass — the pattern side
+    # is partition-independent
+    plan = compile_pattern(pattern, cfg, decomposition=decomposition)
+    decomp = plan.decomp
     halo = ghost_width(decomp)
     partitions = partition_graph(graph, num_parts, halo)
 
+    backend = select_backend(cfg)
     sigma = 0
     matches = 0
     for part in partitions:
-        local_counter = FringeCounter(pattern, decomposition=decomp, config=cfg)
-        s, m = local_counter._core_sum_with_stats(part.graph, part.owned_local)
-        sigma += s
-        matches += m
-    total = sigma * counter.plan.group_order
-    value, rem = divmod(total, counter.denominator)
-    if rem:
-        raise AssertionError("non-integral partitioned count — halo too small?")
+        ps = backend.run(plan, part.graph, start_vertices=part.owned_local)
+        sigma += ps.sigma
+        matches += ps.matches
+    value = plan.normalize(sigma, context="partitioned count (halo too small?)")
     return CountResult(
         count=value,
         pattern=pattern,

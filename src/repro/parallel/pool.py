@@ -1,11 +1,17 @@
 """Multiprocess parallel counting.
 
-Each worker runs the same pattern-compiled :class:`FringeCounter` over a
-slice of start vertices (the matcher's unit of work distribution — the
-same decomposition the CUDA code uses across thread blocks) and returns
-its partial core sum; the parent reduces and normalizes once. Workers are
-forked, so the read-only CSR graph is shared copy-on-write and never
-pickled.
+Each worker runs the same compiled :class:`~repro.core.plan.CountingPlan`
+over a slice of start vertices (the matcher's unit of work distribution —
+the same decomposition the CUDA code uses across thread blocks) and
+returns its partial core sum; the parent reduces and normalizes once
+through the plan's single normalization path. Workers are forked, so the
+read-only CSR graph is shared copy-on-write and never pickled.
+
+The fork-pool mechanics live in
+:class:`repro.core.backends.MultiprocessBackend`; this module keeps the
+historical :func:`parallel_count` entry point as a thin wrapper over the
+process-wide :class:`repro.runtime.Runtime` (so parallel calls share the
+plan cache with everything else).
 
 ``num_workers=1`` bypasses multiprocessing entirely (useful under
 pytest-benchmark and on platforms without fork).
@@ -13,39 +19,23 @@ pytest-benchmark and on platforms without fork).
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import os
-import time
-from typing import Sequence
 
-import numpy as np
-
-from ..core.engine import CountResult, EngineConfig, FringeCounter
+from ..core.engine import CountResult, EngineConfig
 from ..graph.csr import CSRGraph
 from ..patterns.pattern import Pattern
-from .schedule import make_chunks
+from .schedule import SCHEDULES
 
 __all__ = ["parallel_count", "ParallelConfig"]
 
-# fork-shared state (set in the parent immediately before the pool starts)
-_SHARED: dict = {}
-
-
-def _worker_count(chunk_ids: Sequence[int]) -> tuple[int, int]:
-    counter: FringeCounter = _SHARED["counter"]
-    graph: CSRGraph = _SHARED["graph"]
-    chunks = _SHARED["chunks"]
-    sigma = 0
-    matches = 0
-    for ci in chunk_ids:
-        s, m = counter._core_sum_with_stats(graph, chunks[ci])
-        sigma += s
-        matches += m
-    return sigma, matches
-
 
 class ParallelConfig:
-    """Worker count and schedule for :func:`parallel_count`."""
+    """Worker count and schedule for :func:`parallel_count`.
+
+    Validates eagerly: a bad worker count, schedule name, or chunk size
+    raises here, at construction, instead of failing deep inside
+    ``make_chunks`` mid-run.
+    """
 
     def __init__(
         self,
@@ -53,9 +43,23 @@ class ParallelConfig:
         schedule: str = "dynamic",
         chunk_size: int = 256,
     ):
+        if num_workers is not None and num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {schedule!r}; use {'|'.join(SCHEDULES)}"
+            )
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.num_workers = num_workers or max(1, (os.cpu_count() or 2) - 1)
         self.schedule = schedule
         self.chunk_size = chunk_size
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelConfig(num_workers={self.num_workers}, "
+            f"schedule={self.schedule!r}, chunk_size={self.chunk_size})"
+        )
 
 
 def parallel_count(
@@ -70,40 +74,7 @@ def parallel_count(
     Exact same result as :func:`repro.count_subgraphs`; only the work
     distribution differs.
     """
+    from ..runtime import get_runtime
+
     par = parallel or ParallelConfig()
-    start = time.perf_counter()
-    counter = FringeCounter(pattern, config=config)
-    if pattern.n <= 2:
-        return counter.count(graph)
-
-    chunks = make_chunks(graph.num_vertices, par.num_workers, par.schedule, par.chunk_size)
-    if par.num_workers <= 1 or len(chunks) <= 1:
-        sigma, matches = counter._core_sum_with_stats(graph, None)
-    else:
-        _SHARED["counter"] = counter
-        _SHARED["graph"] = graph
-        _SHARED["chunks"] = chunks
-        try:
-            ctx = mp.get_context("fork")
-            with ctx.Pool(processes=par.num_workers) as pool:
-                # dynamic: many chunks round-robined by the pool's own
-                # work queue; static/strided: one chunk list per worker
-                jobs = [[i] for i in range(len(chunks))]
-                results = pool.map(_worker_count, jobs)
-        finally:
-            _SHARED.clear()
-        sigma = sum(r[0] for r in results)
-        matches = sum(r[1] for r in results)
-
-    total = sigma * counter.plan.group_order
-    value, rem = divmod(total, counter.denominator)
-    if rem:
-        raise AssertionError("non-integral parallel count — engine bug")
-    return CountResult(
-        count=value,
-        pattern=pattern,
-        core_matches=matches,
-        elapsed_s=time.perf_counter() - start,
-        engine=f"fringe-parallel(x{par.num_workers},{par.schedule})",
-        decomposition=counter.decomp,
-    )
+    return get_runtime().count(graph, pattern, engine="general", config=config, parallel=par)

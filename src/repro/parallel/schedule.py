@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["static_contiguous", "static_strided", "dynamic_chunks", "make_chunks"]
+__all__ = ["SCHEDULES", "static_contiguous", "static_strided", "dynamic_chunks", "make_chunks"]
+
+# valid schedule names, in the order the CLI/docs present them
+SCHEDULES: tuple[str, ...] = ("static", "strided", "dynamic")
 
 
 def static_contiguous(num_vertices: int, num_workers: int) -> list[np.ndarray]:
@@ -41,4 +44,4 @@ def make_chunks(
         return static_strided(num_vertices, num_workers)
     if schedule == "dynamic":
         return dynamic_chunks(num_vertices, chunk_size)
-    raise ValueError(f"unknown schedule {schedule!r}; use static|strided|dynamic")
+    raise ValueError(f"unknown schedule {schedule!r}; use {'|'.join(SCHEDULES)}")

@@ -1,0 +1,259 @@
+"""The Runtime layer: plan caching + execution routing + statistics.
+
+The paper's system amortizes all pattern-side work ahead of time and
+reuses it across inputs; :class:`Runtime` is the front door that makes
+the amortization automatic for a *serving* workload. It holds an LRU
+cache of compiled :class:`~repro.core.plan.CountingPlan` artifacts keyed
+by :func:`~repro.core.plan.plan_key` (canonical pattern form + config),
+routes each call to the right execution substrate (specialized engine,
+serial/batch backend, or fork pool), and reports per-call
+:class:`~repro.core.engine.ExecutionStats` — compile vs. match vs.
+Venn/fc time, batch flushes, and plan-cache hit/miss counters — on
+``CountResult.stats``.
+
+``count_subgraphs`` and ``parallel_count`` are thin wrappers over the
+process-wide :func:`get_runtime` instance, so every caller (CLI,
+benchmarks, library users) shares one plan cache.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Sequence
+
+from .core.backends import select_backend
+from .core.engine import CountResult, EngineConfig, ExecutionStats
+from .core.plan import CountingPlan, compile_pattern, plan_key
+from .graph.csr import CSRGraph
+from .patterns.decompose import Decomposition
+from .patterns.pattern import Pattern
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .parallel.pool import ParallelConfig
+
+__all__ = ["Runtime", "RuntimeStats", "get_runtime", "set_runtime"]
+
+
+@dataclass
+class RuntimeStats:
+    """Cumulative counters for one Runtime instance."""
+
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_cache_evictions: int = 0
+    compile_s: float = 0.0  # total time spent compiling patterns
+    counts_served: int = 0
+
+    def snapshot(self) -> "RuntimeStats":
+        return replace(self)
+
+
+class Runtime:
+    """Serving front door: LRU plan cache + backend routing + stats.
+
+    ``max_plans`` bounds the cache (least-recently-used eviction). The
+    cache is guarded by a lock, so one Runtime can serve many threads;
+    compiled plans are immutable and safely shared.
+    """
+
+    def __init__(self, max_plans: int = 128):
+        if max_plans < 1:
+            raise ValueError("max_plans must be positive")
+        self.max_plans = max_plans
+        self.stats = RuntimeStats()
+        self._plans: OrderedDict[tuple, CountingPlan] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # plan cache
+    # ------------------------------------------------------------------
+    def plan_for(
+        self, pattern: Pattern, config: EngineConfig | None = None
+    ) -> tuple[CountingPlan, bool, float]:
+        """(plan, cache_hit, compile_seconds) for a pattern + config.
+
+        A hit returns the identical cached object and spends no compile
+        time; a miss compiles, stores, and possibly evicts the LRU entry.
+        """
+        cfg = config or EngineConfig()
+        key = plan_key(pattern, cfg)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.stats.plan_cache_hits += 1
+                return plan, True, 0.0
+        # compile outside the lock: compilation can be expensive and two
+        # racing compiles of the same key are idempotent
+        t0 = time.perf_counter()
+        plan = compile_pattern(pattern, cfg)
+        compile_s = time.perf_counter() - t0
+        with self._lock:
+            self.stats.plan_cache_misses += 1
+            self.stats.compile_s += compile_s
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.max_plans:
+                self._plans.popitem(last=False)
+                self.stats.plan_cache_evictions += 1
+        return plan, False, compile_s
+
+    def cache_info(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._plans),
+                "max_plans": self.max_plans,
+                "hits": self.stats.plan_cache_hits,
+                "misses": self.stats.plan_cache_misses,
+                "evictions": self.stats.plan_cache_evictions,
+            }
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._plans.clear()
+
+    # ------------------------------------------------------------------
+    # counting
+    # ------------------------------------------------------------------
+    def count(
+        self,
+        graph: CSRGraph,
+        pattern: Pattern,
+        *,
+        engine: str = "auto",
+        config: EngineConfig | None = None,
+        parallel: "ParallelConfig | None" = None,
+        decomposition: Decomposition | None = None,
+        start_vertices: Sequence[int] | None = None,
+    ) -> CountResult:
+        """Count ``pattern`` in ``graph`` through the cached-plan pipeline.
+
+        Same semantics as the historical ``count_subgraphs`` /
+        ``parallel_count`` entry points (which now wrap this method);
+        ``parallel`` selects the fork-pool backend. A call with an
+        explicit ``decomposition`` compiles a fresh plan and bypasses the
+        cache — the cache key cannot see the core choice.
+        """
+        if engine not in ("auto", "general", "specialized"):
+            raise ValueError(f"unknown engine {engine!r}")
+        cfg = config or EngineConfig()
+        self.stats.counts_served += 1
+
+        if decomposition is not None:
+            t0 = time.perf_counter()
+            plan = compile_pattern(pattern, cfg, decomposition=decomposition)
+            hit, compile_s = False, time.perf_counter() - t0
+        else:
+            plan, hit, compile_s = self.plan_for(pattern, cfg)
+
+        # trivial patterns: count vertices / edges directly
+        if pattern.n <= 2:
+            t0 = time.perf_counter()
+            value = graph.num_vertices if pattern.n == 1 else graph.num_edges
+            return CountResult(
+                count=value,
+                pattern=pattern,
+                core_matches=value,
+                elapsed_s=time.perf_counter() - t0,
+                engine=f"fringe-general({cfg.venn_impl},{cfg.fc_impl})",
+                decomposition=None,
+                stats=self._stats(plan_hit=hit, compile_s=compile_s, backend="trivial"),
+            )
+
+        # specialized closed-form engines (never under the fork pool —
+        # they are whole-graph vectorized formulas, not root-sliceable)
+        if parallel is None and start_vertices is None and engine != "general":
+            if cfg.specialized or engine == "specialized":
+                special = plan.specialized_engine()
+                if special is not None:
+                    res = special(graph)
+                    return replace(
+                        res,
+                        stats=self._stats(
+                            plan_hit=hit,
+                            compile_s=compile_s,
+                            backend=special.name,
+                            execute_s=res.elapsed_s,
+                        ),
+                    )
+                if engine == "specialized":
+                    raise ValueError(
+                        f"no specialized engine for a {plan.decomp.num_core}-vertex core"
+                    )
+
+        backend = select_backend(cfg, parallel)
+        t0 = time.perf_counter()
+        partial = backend.run(plan, graph, start_vertices=start_vertices)
+        execute_s = time.perf_counter() - t0
+        value = plan.normalize(partial.sigma, context="parallel count" if parallel else "count")
+        if parallel is not None:
+            engine_str = f"fringe-parallel(x{parallel.num_workers},{parallel.schedule})"
+        else:
+            engine_str = f"fringe-general({cfg.venn_impl},{cfg.fc_impl})"
+        return CountResult(
+            count=value,
+            pattern=pattern,
+            core_matches=partial.matches,
+            elapsed_s=execute_s,
+            engine=engine_str,
+            decomposition=plan.decomp,
+            stats=self._stats(
+                plan_hit=hit,
+                compile_s=compile_s,
+                backend=backend.name,
+                execute_s=execute_s,
+                venn_fc_s=partial.venn_fc_s,
+                batches=partial.batches,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _stats(
+        self,
+        *,
+        plan_hit: bool,
+        compile_s: float,
+        backend: str,
+        execute_s: float = 0.0,
+        venn_fc_s: float = 0.0,
+        batches: int = 0,
+    ) -> ExecutionStats:
+        return ExecutionStats(
+            backend=backend,
+            plan_cache_hit=plan_hit,
+            compile_s=compile_s,
+            execute_s=execute_s,
+            match_s=max(0.0, execute_s - venn_fc_s),
+            venn_fc_s=venn_fc_s,
+            batches_flushed=batches,
+            cache_hits=self.stats.plan_cache_hits,
+            cache_misses=self.stats.plan_cache_misses,
+        )
+
+
+# ----------------------------------------------------------------------
+# process-wide default runtime
+# ----------------------------------------------------------------------
+_default_runtime: Runtime | None = None
+_default_lock = threading.Lock()
+
+
+def get_runtime() -> Runtime:
+    """The process-wide Runtime shared by count_subgraphs / the CLI."""
+    global _default_runtime
+    if _default_runtime is None:
+        with _default_lock:
+            if _default_runtime is None:
+                _default_runtime = Runtime()
+    return _default_runtime
+
+
+def set_runtime(runtime: Runtime | None) -> Runtime | None:
+    """Swap the process-wide Runtime (tests use this); returns the old one."""
+    global _default_runtime
+    with _default_lock:
+        old, _default_runtime = _default_runtime, runtime
+    return old

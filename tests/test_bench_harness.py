@@ -1,6 +1,5 @@
 """Tests for the benchmark harness (cells, figures, reporting)."""
 
-import math
 
 import pytest
 

@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 
 from repro.core.binomial import DEFAULT_TABLE_SIZE, PascalTable, nCk, nck_array
 

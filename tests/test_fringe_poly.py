@@ -3,7 +3,6 @@
 import random
 
 import numpy as np
-import pytest
 
 from repro.core.fringe_count import fc_recursive
 from repro.core.fringe_poly import _crt, _RNS_PRIMES, compile_fringe_polynomial

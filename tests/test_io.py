@@ -5,7 +5,6 @@ import pytest
 
 from repro.graph import generators as gen, io as gio
 from repro.graph.build import clean_edges, compact_labels, graph_from_raw_edges
-from repro.graph.csr import CSRGraph
 
 
 @pytest.fixture

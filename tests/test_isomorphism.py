@@ -1,6 +1,5 @@
 """Tests for the backtracking (sub)graph isomorphism used by the toolkit."""
 
-import pytest
 
 from repro.patterns import catalog
 from repro.patterns.isomorphism import are_isomorphic, automorphisms_of, isomorphisms

@@ -1,8 +1,6 @@
 """Tests for the stack-based core matcher."""
 
-import math
 
-import pytest
 
 from repro.core.matcher import build_plan, count_core_matches, match_cores
 from repro.graph import generators as gen

@@ -12,7 +12,6 @@ from repro.core.fringe_count import fc_iterative, fc_recursive
 from repro.core.fringe_poly import compile_fringe_polynomial
 from repro.core.venn import venn_hash, venn_merge, venn_sorted
 from repro.graph.csr import CSRGraph
-from repro.patterns.decompose import decompose
 from repro.patterns.pattern import Pattern
 
 SETTINGS = settings(

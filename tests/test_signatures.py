@@ -24,7 +24,6 @@ GRAPHS = [
 def brute_participations(graph, pattern, orbit_filter):
     """Reference: enumerate injective maps, count vertex participations
     at the pattern positions selected by orbit_filter."""
-    from repro.baselines.vf2 import count_injective_maps
     from repro.patterns.isomorphism import automorphisms_of
 
     n = pattern.n

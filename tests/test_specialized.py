@@ -6,8 +6,7 @@ import numpy as np
 import pytest
 
 from repro.baselines.vf2 import count_vf2
-from repro.core import specialized
-from repro.core.engine import EngineConfig, count_subgraphs
+from repro.core.engine import count_subgraphs
 from repro.core.specialized import (
     EdgeCoreEngine,
     ThreeCoreEngine,
@@ -18,7 +17,7 @@ from repro.core.specialized import (
 from repro.graph import generators as gen
 from repro.graph.csr import CSRGraph
 from repro.patterns import catalog
-from repro.patterns.decompose import decompose, decomposition_from_core
+from repro.patterns.decompose import decompose
 
 
 class TestDispatch:
