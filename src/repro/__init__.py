@@ -10,7 +10,9 @@ Public entry points:
 * :func:`repro.compile_pattern` — build a reusable, picklable
   :class:`repro.CountingPlan` by hand;
 * :mod:`repro.graph` — CSR graphs, generators, datasets, I/O;
-* :mod:`repro.patterns` — pattern type, catalog, decomposition.
+* :mod:`repro.patterns` — pattern type, catalog, decomposition;
+* :mod:`repro.obs` — tracing + metrics (spans, Prometheus export, the
+  :class:`repro.Observer` hook for :class:`repro.Runtime`).
 """
 
 from .core.engine import (
@@ -23,17 +25,19 @@ from .core.engine import (
 from .core.multi import MultiPatternCounter, count_many
 from .core.plan import CountingPlan, compile_pattern
 from .graph.csr import CSRGraph
+from .obs import Observer
 from .patterns.pattern import Pattern
 from .patterns import catalog
 from .runtime import Runtime, get_runtime
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CountResult",
     "CountingPlan",
     "ExecutionStats",
     "MultiPatternCounter",
+    "Observer",
     "Runtime",
     "count_many",
     "compile_pattern",

@@ -9,15 +9,26 @@ way the paper drops codes "where more than one input times out".
 
 Every cell also cross-checks the returned count against the fringe
 engine's, so a benchmark run doubles as an end-to-end correctness test.
+
+Runs leave a trajectory: with ``record_dir=`` (or the ``REPRO_BENCH_DIR``
+environment variable) set, :func:`run_figure` appends one JSONL record
+per (system × pattern × graph) cell to ``BENCH_<figure>.json`` in that
+directory, as each cell completes — so even interrupted sweeps are
+recorded, and successive benchmark runs populate the ``BENCH_*.json``
+trajectory going forward.
 """
 
 from __future__ import annotations
 
+import json
 import math
+import os
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
+from .. import obs
 from ..baselines import (
     BaselineTimeout,
     IEPCounter,
@@ -28,7 +39,16 @@ from ..graph.csr import CSRGraph
 from ..patterns.pattern import Pattern
 from ..runtime import Runtime
 
-__all__ = ["Measurement", "CellResult", "SYSTEMS", "run_cell", "run_figure", "geomean", "FigureResult"]
+__all__ = [
+    "Measurement",
+    "CellResult",
+    "SYSTEMS",
+    "run_cell",
+    "run_figure",
+    "geomean",
+    "FigureResult",
+    "measurement_record",
+]
 
 
 @dataclass(frozen=True)
@@ -101,12 +121,13 @@ def run_cell(
     runner = SYSTEMS[system](pattern)
     if runner is None:
         return Measurement(system, pattern_name, graph_name, "unsupported", None, None, graph.num_edges)
-    start = time.perf_counter()
-    try:
-        count = runner(graph, timeout_s)
-    except BaselineTimeout:
-        return Measurement(system, pattern_name, graph_name, "dnf", None, None, graph.num_edges)
-    elapsed = time.perf_counter() - start
+    with obs.span("bench.cell", system=system, pattern=pattern_name, graph=graph_name):
+        start = time.perf_counter()
+        try:
+            count = runner(graph, timeout_s)
+        except BaselineTimeout:
+            return Measurement(system, pattern_name, graph_name, "dnf", None, None, graph.num_edges)
+        elapsed = time.perf_counter() - start
     if elapsed > timeout_s:
         # the fringe engine has no cooperative deadline; censor post hoc
         return Measurement(system, pattern_name, graph_name, "dnf", None, None, graph.num_edges)
@@ -170,6 +191,32 @@ class FigureResult:
                 raise AssertionError(f"count disagreement on {key}: {sorted(counts)}")
 
 
+def measurement_record(figure: str, m: Measurement) -> dict:
+    """One cell as a plain JSON-serializable record (the BENCH_*.json row)."""
+    return {
+        "figure": figure,
+        "system": m.system,
+        "pattern": m.pattern,
+        "graph": m.graph,
+        "status": m.status,
+        "count": None if m.count is None else str(m.count),  # counts overflow JSON readers
+        "seconds": m.seconds,
+        "edges": m.edges,
+        "throughput_eps": m.throughput,
+        "unix_time": time.time(),
+    }
+
+
+def _bench_record_path(figure: str, record_dir) -> Path | None:
+    if record_dir is None:
+        record_dir = os.environ.get("REPRO_BENCH_DIR") or None
+    if record_dir is None:
+        return None
+    directory = Path(record_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory / f"BENCH_{figure}.json"
+
+
 def run_figure(
     figure: str,
     patterns: dict[str, Pattern],
@@ -177,30 +224,46 @@ def run_figure(
     systems: Sequence[str],
     *,
     timeout_s: float = 10.0,
+    record_dir: str | Path | None = None,
 ) -> FigureResult:
     """Full sweep for one figure; counts are cross-checked.
 
     Mirrors the paper's reporting rule while saving wall clock: once a
     (system, pattern) series has two DNF inputs it is dropped from the
     figure anyway, so its remaining cells are marked DNF without running.
+
+    ``record_dir`` (default: the ``REPRO_BENCH_DIR`` environment
+    variable) selects a directory to append per-cell JSONL records to,
+    one line per cell into ``BENCH_<figure>.json`` as cells complete.
     """
+    record_path = _bench_record_path(figure, record_dir)
     result = FigureResult(figure=figure)
-    for pattern_name, pattern in patterns.items():
-        dnf_count = {system: 0 for system in systems}
-        for graph_name, graph in graphs.items():
-            for system in systems:
-                if dnf_count[system] > 1:
-                    result.measurements.append(
-                        Measurement(
-                            system, pattern_name, graph_name, "dnf", None, None, graph.num_edges
-                        )
-                    )
-                    continue
-                cell = run_cell(
-                    system, pattern, pattern_name, graph, graph_name, timeout_s=timeout_s
-                )
-                if cell.status == "dnf":
-                    dnf_count[system] += 1
-                result.measurements.append(cell)
+    record_fh = record_path.open("a", encoding="utf-8") if record_path else None
+    try:
+        with obs.span("bench.figure", figure=figure):
+            for pattern_name, pattern in patterns.items():
+                dnf_count = {system: 0 for system in systems}
+                for graph_name, graph in graphs.items():
+                    for system in systems:
+                        if dnf_count[system] > 1:
+                            cell = Measurement(
+                                system, pattern_name, graph_name, "dnf", None, None, graph.num_edges
+                            )
+                        else:
+                            cell = run_cell(
+                                system, pattern, pattern_name, graph, graph_name,
+                                timeout_s=timeout_s,
+                            )
+                            if cell.status == "dnf":
+                                dnf_count[system] += 1
+                        result.measurements.append(cell)
+                        if record_fh is not None:
+                            record_fh.write(
+                                json.dumps(measurement_record(figure, cell), sort_keys=True) + "\n"
+                            )
+                            record_fh.flush()
+    finally:
+        if record_fh is not None:
+            record_fh.close()
     result.verify_counts_agree()
     return result

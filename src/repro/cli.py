@@ -19,6 +19,14 @@ Commands
         python -m repro count --dataset internet --pattern diamond \
             --workers 8 --schedule dynamic --stats
 
+    Observability (``repro.obs``): ``--trace FILE`` writes a JSONL span
+    trace of the run (compile → execute → per-batch venn/fc),
+    ``--metrics`` prints the collected metrics table, and ``--prom FILE``
+    dumps them in Prometheus text format::
+
+        python -m repro count --dataset internet --pattern diamond \
+            --engine general --trace trace.jsonl --metrics --prom metrics.prom
+
 ``decompose``
     Show a pattern's core/fringe decomposition and matching order::
 
@@ -72,6 +80,9 @@ def _add_graph_args(p: argparse.ArgumentParser) -> None:
 
 
 def _cmd_count(args) -> int:
+    from contextlib import nullcontext
+
+    from . import obs
     from .parallel.pool import ParallelConfig
     from .runtime import get_runtime
 
@@ -87,9 +98,15 @@ def _cmd_count(args) -> int:
         if args.workers > 1
         else None
     )
+    observer = (
+        obs.Observer(trace=bool(args.trace), metrics=bool(args.metrics or args.prom))
+        if (args.trace or args.metrics or args.prom)
+        else None
+    )
     runtime = get_runtime()
     t0 = time.perf_counter()
-    res = runtime.count(graph, pattern, engine=args.engine, config=cfg, parallel=parallel)
+    with observer if observer is not None else nullcontext():
+        res = runtime.count(graph, pattern, engine=args.engine, config=cfg, parallel=parallel)
     dt = time.perf_counter() - t0
     print(f"graph    : {gname} ({graph.num_vertices:,} vertices, {graph.num_edges:,} edges)")
     print(f"pattern  : {args.pattern} ({pattern.n} vertices, {pattern.num_edges} edges)")
@@ -105,6 +122,23 @@ def _cmd_count(args) -> int:
         print(f"execute  : {s.execute_s*1e3:.2f} ms  "
               f"(match {s.match_s*1e3:.2f} ms, venn/fc {s.venn_fc_s*1e3:.2f} ms, "
               f"{s.batches_flushed} batches)")
+        if s.workers:
+            print(f"workers  : {s.workers} processes")
+    if observer is not None:
+        if args.trace:
+            n = obs.write_trace_jsonl(observer.tracer, args.trace)
+            print(f"trace    : {n} spans -> {args.trace}")
+        if args.prom:
+            from pathlib import Path
+
+            Path(args.prom).write_text(
+                obs.prometheus_text(observer.metrics), encoding="utf-8"
+            )
+            print(f"prom     : metrics -> {args.prom}")
+        if args.metrics:
+            print("metrics  :")
+            for line in obs.metrics_table(observer.metrics).splitlines():
+                print(f"  {line}")
     return 0
 
 
@@ -188,6 +222,12 @@ def main(argv: list[str] | None = None) -> int:
                    help="matches per vectorized batch (poly mode)")
     p.add_argument("--stats", action="store_true",
                    help="print runtime stats (compile/match/venn-fc time, plan cache)")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write a JSONL span trace (compile -> execute -> venn/fc)")
+    p.add_argument("--metrics", action="store_true",
+                   help="collect metrics and print the table after the count")
+    p.add_argument("--prom", metavar="FILE",
+                   help="write collected metrics in Prometheus text format")
     p.set_defaults(fn=_cmd_count)
 
     p = sub.add_parser("decompose", help="show a pattern's core/fringe split")

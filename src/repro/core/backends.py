@@ -25,12 +25,14 @@ all cross-checked in the test suite.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from .. import obs
 from ..graph.csr import CSRGraph
 from .fringe_count import fc_iterative, fc_recursive
 from .matcher import match_cores
@@ -39,12 +41,33 @@ from .venn import VENN_IMPLS, venn_batch
 
 __all__ = [
     "PartialSum",
+    "WorkerDelta",
     "Backend",
     "SerialBackend",
     "BatchBackend",
     "MultiprocessBackend",
     "select_backend",
 ]
+
+
+@dataclass(frozen=True)
+class WorkerDelta:
+    """One fork-pool job's contribution, attributed to its worker process.
+
+    Crosses the process boundary inside :class:`PartialSum`, so the
+    parent can compute per-worker load-imbalance (the paper's §3.6
+    dynamic-schedule discussion) after the reduction. ``metrics`` is a
+    :meth:`repro.obs.MetricsRegistry.snapshot` delta recorded by the
+    worker while running this job (``None`` when observability is off).
+    """
+
+    pid: int
+    chunks: int
+    matches: int
+    venn_fc_s: float
+    batches: int
+    elapsed_s: float
+    metrics: list | None = None
 
 
 @dataclass(frozen=True)
@@ -55,13 +78,17 @@ class PartialSum:
     embeddings (un-normalized); ``matches`` counts those embeddings.
     ``venn_fc_s`` is the time spent in Venn + fringe-count evaluation
     (as opposed to core matching); ``batches`` counts vectorized batch
-    flushes. Partial sums add, so reductions are one ``sum()``.
+    flushes. ``workers`` carries per-worker :class:`WorkerDelta` records
+    out of the fork pool (empty for in-process execution); their fields
+    sum to this object's totals. Partial sums add, so reductions are one
+    ``sum()``.
     """
 
     sigma: int = 0
     matches: int = 0
     venn_fc_s: float = 0.0
     batches: int = 0
+    workers: tuple[WorkerDelta, ...] = ()
 
     def __add__(self, other: "PartialSum") -> "PartialSum":
         return PartialSum(
@@ -69,6 +96,7 @@ class PartialSum:
             matches=self.matches + other.matches,
             venn_fc_s=self.venn_fc_s + other.venn_fc_s,
             batches=self.batches + other.batches,
+            workers=self.workers + other.workers,
         )
 
     __radd__ = __add__
@@ -112,6 +140,8 @@ class SerialBackend:
         fc = fc_recursive if cfg.fc_impl == "recursive" else fc_iterative
         anch, k, q = plan.anch, plan.k, plan.q
         positions = plan.anchored_positions
+        registry = obs.active_metrics()  # checked once, outside the hot loop
+        degrees = graph.degrees
         total = 0
         matches = 0
         venn_fc_s = 0.0
@@ -122,6 +152,14 @@ class SerialBackend:
             venn = venn_fn(graph, anchors, match)
             total += fc(venn, anch, k, q)
             venn_fc_s += time.perf_counter() - t0
+            if registry is not None:
+                registry.histogram("repro_venn_set_size").observe(sum(venn))
+                registry.histogram("repro_candidate_set_size").observe(
+                    int(sum(degrees[a] for a in anchors))
+                )
+        if registry is not None:
+            registry.counter("repro_core_matches_total").inc(matches)
+            registry.counter("repro_venn_fc_seconds_total").inc(venn_fc_s)
         return PartialSum(sigma=total, matches=matches, venn_fc_s=venn_fc_s)
 
 
@@ -141,6 +179,7 @@ class BatchBackend:
         bs = plan.config.batch_size
         positions = list(plan.anchored_positions)
         poly = plan.poly
+        registry = obs.active_metrics()  # checked once, outside the hot loop
         total = 0
         matches = 0
         batches = 0
@@ -148,10 +187,19 @@ class BatchBackend:
         buf: list[tuple[int, ...]] = []
 
         def flush() -> int:
-            core_matrix = np.asarray(buf, dtype=np.int64)
-            anchor_matrix = core_matrix[:, positions]
-            venns = venn_batch(graph, anchor_matrix, core_matrix)
-            return poly.evaluate_batch(venns)
+            with obs.span("venn_fc_batch", matches=len(buf)):
+                core_matrix = np.asarray(buf, dtype=np.int64)
+                anchor_matrix = core_matrix[:, positions]
+                venns = venn_batch(graph, anchor_matrix, core_matrix)
+                if registry is not None:
+                    registry.histogram("repro_batch_matches").observe(len(buf))
+                    registry.histogram("repro_venn_set_size").observe_many(
+                        venns.sum(axis=1).tolist()
+                    )
+                    registry.histogram("repro_candidate_set_size").observe_many(
+                        graph.degrees[anchor_matrix].sum(axis=1).tolist()
+                    )
+                return poly.evaluate_batch(venns)
 
         for match in match_cores(graph, plan.core_plan, start_vertices=start_vertices):
             matches += 1
@@ -167,6 +215,10 @@ class BatchBackend:
             total += flush()
             venn_fc_s += time.perf_counter() - t0
             batches += 1
+        if registry is not None:
+            registry.counter("repro_core_matches_total").inc(matches)
+            registry.counter("repro_batches_flushed_total").inc(batches)
+            registry.counter("repro_venn_fc_seconds_total").inc(venn_fc_s)
         return PartialSum(sigma=total, matches=matches, venn_fc_s=venn_fc_s, batches=batches)
 
 
@@ -184,10 +236,36 @@ def _worker_run(chunk_ids: Sequence[int]) -> PartialSum:
     graph: CSRGraph = _SHARED["graph"]
     chunks = _SHARED["chunks"]
     inner: Backend = _SHARED["inner"]
+    # When the forked parent had observability active, record this job's
+    # metrics into a fresh worker-local registry (the parent's registry
+    # is a copy-on-write copy — writes there would be lost) and ship the
+    # snapshot back as the job's delta for merge-at-reduction.
+    parent = obs.current()
+    local = (
+        obs.Observer(trace=False)
+        if parent is not None and parent.metrics is not None
+        else None
+    )
     out = PartialSum()
-    for ci in chunk_ids:
-        out += inner.run(plan, graph, start_vertices=chunks[ci])
-    return out
+    t0 = time.perf_counter()
+    if local is not None:
+        with local:
+            for ci in chunk_ids:
+                out += inner.run(plan, graph, start_vertices=chunks[ci])
+    else:
+        for ci in chunk_ids:
+            out += inner.run(plan, graph, start_vertices=chunks[ci])
+    elapsed = time.perf_counter() - t0
+    delta = WorkerDelta(
+        pid=os.getpid(),
+        chunks=len(chunk_ids),
+        matches=out.matches,
+        venn_fc_s=out.venn_fc_s,
+        batches=out.batches,
+        elapsed_s=elapsed,
+        metrics=local.metrics.snapshot() if local is not None else None,
+    )
+    return replace(out, workers=(delta,))
 
 
 class MultiprocessBackend:
@@ -249,7 +327,34 @@ class MultiprocessBackend:
                 results = pool.map(_worker_run, jobs)
         finally:
             _SHARED.clear()
-        return sum(results, PartialSum())
+        total = sum(results, PartialSum())
+        self._record_worker_metrics(total)
+        return total
+
+    @staticmethod
+    def _record_worker_metrics(total: PartialSum) -> None:
+        """Merge worker deltas into the active registry at reduction.
+
+        Per-pid busy time becomes a labeled gauge series (the Prometheus
+        per-worker view) plus a busy-time histogram, and the makespan /
+        mean-busy ratio becomes the load-imbalance gauge the paper's
+        dynamic-schedule discussion is about (1.0 = perfectly balanced).
+        """
+        registry = obs.active_metrics()
+        if registry is None or not total.workers:
+            return
+        busy: dict[int, float] = {}
+        for w in total.workers:
+            busy[w.pid] = busy.get(w.pid, 0.0) + w.elapsed_s
+            if w.metrics:
+                registry.merge(w.metrics)
+        for pid, seconds in sorted(busy.items()):
+            registry.gauge("repro_worker_busy_seconds", worker=str(pid)).set(seconds)
+            registry.histogram("repro_worker_elapsed_seconds").observe(seconds)
+        mean = sum(busy.values()) / len(busy)
+        imbalance = max(busy.values()) / mean if mean > 0 else 1.0
+        registry.gauge("repro_worker_load_imbalance").set(imbalance)
+        registry.gauge("repro_workers").set(len(busy))
 
 
 def select_backend(config, parallel=None) -> Backend:

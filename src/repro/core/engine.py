@@ -87,7 +87,9 @@ class ExecutionStats:
     execution spent in Venn/fringe-count evaluation and ``match_s`` the
     core-matching remainder. ``cache_hits``/``cache_misses`` snapshot the
     serving runtime's cumulative plan-cache counters (both zero when the
-    count did not go through a runtime).
+    count did not go through a runtime). ``workers`` is the number of
+    distinct fork-pool worker processes that contributed (zero when the
+    count ran in-process).
     """
 
     backend: str = ""
@@ -99,6 +101,7 @@ class ExecutionStats:
     batches_flushed: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    workers: int = 0
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..graph.csr import CSRGraph
 from .warp import WARP_SIZE, WarpStats
 
@@ -107,19 +108,37 @@ class GPUMachine:
         else:
             assignment = None  # dynamic: least-loaded slot takes the next chunk
 
-        for i, chunk in enumerate(chunks):
-            stats = kernel(graph, list(chunk))
-            if assignment is not None:
-                slot = assignment[i]
-            else:
-                # atomic work counter: the first warp slot to finish grabs
-                # the next chunk — equivalent to always loading the
-                # currently least-loaded slot
-                slot = min(range(slots), key=slot_cycles.__getitem__)
-            slot_cycles[slot] += stats.steps
-            report.total_steps += stats.steps
-            report.total_lane_ops += stats.lane_ops
-            report.total_mem_transactions += stats.mem_transactions
-            report.active_lane_sum += stats.active_lane_sum
+        with obs.span("gpusim.launch", schedule=cfg.schedule, chunks=len(chunks)):
+            for i, chunk in enumerate(chunks):
+                stats = kernel(graph, list(chunk))
+                if assignment is not None:
+                    slot = assignment[i]
+                else:
+                    # atomic work counter: the first warp slot to finish grabs
+                    # the next chunk — equivalent to always loading the
+                    # currently least-loaded slot
+                    slot = min(range(slots), key=slot_cycles.__getitem__)
+                slot_cycles[slot] += stats.steps
+                report.total_steps += stats.steps
+                report.total_lane_ops += stats.lane_ops
+                report.total_mem_transactions += stats.mem_transactions
+                report.active_lane_sum += stats.active_lane_sum
         report.makespan_steps = max(slot_cycles, default=0)
+        self._record_metrics(report, slots)
         return report
+
+    @staticmethod
+    def _record_metrics(report: MachineReport, slots: int) -> None:
+        """Surface the launch's SIMT report as metrics (§3.6 quantities)."""
+        registry = obs.active_metrics()
+        if registry is None:
+            return
+        registry.gauge("gpusim_simt_efficiency").set(report.simt_efficiency)
+        registry.gauge("gpusim_load_imbalance").set(report.load_imbalance)
+        registry.gauge("gpusim_warp_occupancy").set(
+            min(1.0, report.chunks / slots) if slots else 0.0
+        )
+        registry.counter("gpusim_warp_steps_total").inc(report.total_steps)
+        registry.counter("gpusim_lane_ops_total").inc(report.total_lane_ops)
+        registry.counter("gpusim_mem_transactions_total").inc(report.total_mem_transactions)
+        registry.counter("gpusim_launches_total").inc()

@@ -1,0 +1,115 @@
+"""Exporters: JSONL traces, Prometheus text metrics, CLI tables.
+
+Three audiences, three formats:
+
+* :func:`write_trace_jsonl` — one JSON object per span, loadable by any
+  trace tooling (or ``jq``);
+* :func:`prometheus_text` — the Prometheus exposition text format, with
+  cumulative histogram buckets and a ``+Inf`` bound;
+* :func:`metrics_table` — a human-readable dump for ``--metrics`` runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import Gauge, Histogram, MetricsRegistry
+from .trace import Tracer
+
+__all__ = [
+    "trace_jsonl_lines",
+    "write_trace_jsonl",
+    "prometheus_text",
+    "metrics_table",
+]
+
+
+# ----------------------------------------------------------------------
+# traces
+# ----------------------------------------------------------------------
+def trace_jsonl_lines(tracer: Tracer) -> list[str]:
+    """One JSON line per finished span, ordered by start time."""
+    spans = sorted(tracer.spans, key=lambda s: (s.start_s, s.span_id))
+    return [
+        json.dumps(
+            {
+                "span_id": s.span_id,
+                "parent_id": s.parent_id,
+                "name": s.name,
+                "start_s": round(s.start_s, 9),
+                "duration_s": round(s.duration_s, 9),
+                "attrs": s.attrs,
+            },
+            sort_keys=True,
+        )
+        for s in spans
+    ]
+
+
+def write_trace_jsonl(tracer: Tracer, path: str | Path) -> int:
+    """Write the trace; returns the number of spans written."""
+    lines = trace_jsonl_lines(tracer)
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+    return len(lines)
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+def _labels_text(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def _num(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus exposition format (text/plain; version 0.0.4)."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for name, labels, metric in registry.collect():
+        if name not in typed:
+            lines.append(f"# TYPE {name} {metric.kind}")
+            typed.add(name)
+        if isinstance(metric, Histogram):
+            cumulative = 0
+            for bound, count in zip(metric.buckets, metric.counts):
+                cumulative += count
+                lines.append(
+                    f"{name}_bucket{_labels_text(labels, {'le': _num(float(bound))})} {cumulative}"
+                )
+            cumulative += metric.counts[-1]
+            lines.append(f"{name}_bucket{_labels_text(labels, {'le': '+Inf'})} {cumulative}")
+            lines.append(f"{name}_sum{_labels_text(labels)} {_num(metric.sum)}")
+            lines.append(f"{name}_count{_labels_text(labels)} {metric.count}")
+        else:
+            lines.append(f"{name}{_labels_text(labels)} {_num(metric.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_table(registry: MetricsRegistry) -> str:
+    """Aligned human-readable metrics dump (the CLI ``--metrics`` view)."""
+    rows: list[tuple[str, str]] = []
+    for name, labels, metric in registry.collect():
+        label = name + _labels_text(labels)
+        if isinstance(metric, Histogram):
+            value = f"count={metric.count} sum={metric.sum:.6g} mean={metric.mean:.6g}"
+        elif isinstance(metric, Gauge):
+            value = f"{metric.value:.6g}"
+        else:
+            value = _num(metric.value)
+        rows.append((label, value))
+    if not rows:
+        return "(no metrics recorded)"
+    width = max(len(label) for label, _ in rows)
+    return "\n".join(f"{label:<{width}}  {value}" for label, value in rows)

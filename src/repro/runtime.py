@@ -24,6 +24,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Sequence
 
+from . import obs
 from .core.backends import select_backend
 from .core.engine import CountResult, EngineConfig, ExecutionStats
 from .core.plan import CountingPlan, compile_pattern, plan_key
@@ -39,12 +40,21 @@ __all__ = ["Runtime", "RuntimeStats", "get_runtime", "set_runtime"]
 
 @dataclass
 class RuntimeStats:
-    """Cumulative counters for one Runtime instance."""
+    """Cumulative counters for one Runtime instance.
+
+    Mutable and written under ``Runtime._lock``; read a consistent copy
+    via :meth:`Runtime.stats_snapshot` rather than the live object when
+    other threads may be counting. ``compile_races`` counts plan-cache
+    misses where a concurrent thread compiled and stored the same key
+    first — those calls are served the winner's plan and recorded as
+    hits, so hit-ratio metrics stay truthful.
+    """
 
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     plan_cache_evictions: int = 0
     compile_s: float = 0.0  # total time spent compiling patterns
+    compile_races: int = 0  # lost compile races (served the winner's plan)
     counts_served: int = 0
 
     def snapshot(self) -> "RuntimeStats":
@@ -57,12 +67,17 @@ class Runtime:
     ``max_plans`` bounds the cache (least-recently-used eviction). The
     cache is guarded by a lock, so one Runtime can serve many threads;
     compiled plans are immutable and safely shared.
+
+    ``observer`` optionally attaches a :class:`repro.obs.Observer`: every
+    :meth:`count` then runs with that observer active, collecting spans
+    (compile → execute → venn/fc) and metrics without any global state.
     """
 
-    def __init__(self, max_plans: int = 128):
+    def __init__(self, max_plans: int = 128, observer: "obs.Observer | None" = None):
         if max_plans < 1:
             raise ValueError("max_plans must be positive")
         self.max_plans = max_plans
+        self.observer = observer
         self.stats = RuntimeStats()
         self._plans: OrderedDict[tuple, CountingPlan] = OrderedDict()
         self._lock = threading.Lock()
@@ -85,13 +100,27 @@ class Runtime:
             if plan is not None:
                 self._plans.move_to_end(key)
                 self.stats.plan_cache_hits += 1
+                self._record_cache_metrics()
                 return plan, True, 0.0
         # compile outside the lock: compilation can be expensive and two
         # racing compiles of the same key are idempotent
         t0 = time.perf_counter()
-        plan = compile_pattern(pattern, cfg)
+        with obs.span("compile", pattern_vertices=pattern.n):
+            plan = compile_pattern(pattern, cfg)
         compile_s = time.perf_counter() - t0
         with self._lock:
+            existing = self._plans.get(key)
+            if existing is not None:
+                # lost the race: another thread compiled and stored this
+                # key while we were compiling. Serve the winner's plan
+                # (preserving the hit-returns-the-identical-object
+                # invariant) and account it as a hit-after-race so the
+                # cache hit ratio stays truthful.
+                self._plans.move_to_end(key)
+                self.stats.plan_cache_hits += 1
+                self.stats.compile_races += 1
+                self._record_cache_metrics()
+                return existing, True, compile_s
             self.stats.plan_cache_misses += 1
             self.stats.compile_s += compile_s
             self._plans[key] = plan
@@ -99,7 +128,28 @@ class Runtime:
             while len(self._plans) > self.max_plans:
                 self._plans.popitem(last=False)
                 self.stats.plan_cache_evictions += 1
+            self._record_cache_metrics()
+        obs.observe("repro_compile_seconds", compile_s)
         return plan, False, compile_s
+
+    def _record_cache_metrics(self) -> None:
+        """Mirror plan-cache counters into the active registry (if any).
+
+        Called with ``_lock`` held — reads are consistent, and the gauge
+        writes only touch the observer's own lock.
+        """
+        registry = obs.active_metrics()
+        if registry is None:
+            return
+        s = self.stats
+        registry.gauge("repro_plan_cache_hits").set(s.plan_cache_hits)
+        registry.gauge("repro_plan_cache_misses").set(s.plan_cache_misses)
+        registry.gauge("repro_plan_cache_evictions").set(s.plan_cache_evictions)
+        registry.gauge("repro_plan_compile_races").set(s.compile_races)
+        total = s.plan_cache_hits + s.plan_cache_misses
+        registry.gauge("repro_plan_cache_hit_ratio").set(
+            s.plan_cache_hits / total if total else 0.0
+        )
 
     def cache_info(self) -> dict:
         with self._lock:
@@ -109,7 +159,13 @@ class Runtime:
                 "hits": self.stats.plan_cache_hits,
                 "misses": self.stats.plan_cache_misses,
                 "evictions": self.stats.plan_cache_evictions,
+                "compile_races": self.stats.compile_races,
             }
+
+    def stats_snapshot(self) -> RuntimeStats:
+        """A consistent copy of the cumulative counters (lock-protected)."""
+        with self._lock:
+            return self.stats.snapshot()
 
     def clear_cache(self) -> None:
         with self._lock:
@@ -139,12 +195,69 @@ class Runtime:
         """
         if engine not in ("auto", "general", "specialized"):
             raise ValueError(f"unknown engine {engine!r}")
-        cfg = config or EngineConfig()
-        self.stats.counts_served += 1
+        if self.observer is not None:
+            with self.observer:
+                return self._count(
+                    graph,
+                    pattern,
+                    engine=engine,
+                    config=config,
+                    parallel=parallel,
+                    decomposition=decomposition,
+                    start_vertices=start_vertices,
+                )
+        return self._count(
+            graph,
+            pattern,
+            engine=engine,
+            config=config,
+            parallel=parallel,
+            decomposition=decomposition,
+            start_vertices=start_vertices,
+        )
 
+    def _count(
+        self,
+        graph: CSRGraph,
+        pattern: Pattern,
+        *,
+        engine: str,
+        config: EngineConfig | None,
+        parallel: "ParallelConfig | None",
+        decomposition: Decomposition | None,
+        start_vertices: Sequence[int] | None,
+    ) -> CountResult:
+        cfg = config or EngineConfig()
+        with self._lock:
+            self.stats.counts_served += 1
+        with obs.span("count", pattern_vertices=pattern.n, engine=engine):
+            result = self._count_inner(
+                graph, pattern, engine, cfg, parallel, decomposition, start_vertices
+            )
+        registry = obs.active_metrics()
+        if registry is not None:
+            registry.counter("repro_counts_total").inc()
+            registry.histogram("repro_count_latency_seconds").observe(result.elapsed_s)
+            if result.elapsed_s > 0:
+                registry.gauge("repro_edges_per_second").set(
+                    graph.num_edges / result.elapsed_s
+                )
+        return result
+
+    def _count_inner(
+        self,
+        graph: CSRGraph,
+        pattern: Pattern,
+        engine: str,
+        cfg: EngineConfig,
+        parallel: "ParallelConfig | None",
+        decomposition: Decomposition | None,
+        start_vertices: Sequence[int] | None,
+    ) -> CountResult:
         if decomposition is not None:
             t0 = time.perf_counter()
-            plan = compile_pattern(pattern, cfg, decomposition=decomposition)
+            with obs.span("compile", pattern_vertices=pattern.n, cached=False):
+                plan = compile_pattern(pattern, cfg, decomposition=decomposition)
             hit, compile_s = False, time.perf_counter() - t0
         else:
             plan, hit, compile_s = self.plan_for(pattern, cfg)
@@ -169,7 +282,8 @@ class Runtime:
             if cfg.specialized or engine == "specialized":
                 special = plan.specialized_engine()
                 if special is not None:
-                    res = special(graph)
+                    with obs.span("execute", backend=special.name):
+                        res = special(graph)
                     return replace(
                         res,
                         stats=self._stats(
@@ -186,7 +300,8 @@ class Runtime:
 
         backend = select_backend(cfg, parallel)
         t0 = time.perf_counter()
-        partial = backend.run(plan, graph, start_vertices=start_vertices)
+        with obs.span("execute", backend=backend.name):
+            partial = backend.run(plan, graph, start_vertices=start_vertices)
         execute_s = time.perf_counter() - t0
         value = plan.normalize(partial.sigma, context="parallel count" if parallel else "count")
         if parallel is not None:
@@ -207,6 +322,7 @@ class Runtime:
                 execute_s=execute_s,
                 venn_fc_s=partial.venn_fc_s,
                 batches=partial.batches,
+                workers=len({w.pid for w in partial.workers}),
             ),
         )
 
@@ -220,7 +336,11 @@ class Runtime:
         execute_s: float = 0.0,
         venn_fc_s: float = 0.0,
         batches: int = 0,
+        workers: int = 0,
     ) -> ExecutionStats:
+        with self._lock:
+            cache_hits = self.stats.plan_cache_hits
+            cache_misses = self.stats.plan_cache_misses
         return ExecutionStats(
             backend=backend,
             plan_cache_hit=plan_hit,
@@ -229,8 +349,9 @@ class Runtime:
             match_s=max(0.0, execute_s - venn_fc_s),
             venn_fc_s=venn_fc_s,
             batches_flushed=batches,
-            cache_hits=self.stats.plan_cache_hits,
-            cache_misses=self.stats.plan_cache_misses,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            workers=workers,
         )
 
 
