@@ -48,7 +48,38 @@ __all__ = [
     "geomean",
     "FigureResult",
     "measurement_record",
+    "RecordAppender",
 ]
+
+
+class RecordAppender:
+    """Append JSONL records with one atomic ``write()`` each.
+
+    Concurrent benchmark runs append to the same ``BENCH_<figure>.json``;
+    buffered ``file.write`` calls from separate processes can interleave
+    mid-line. Opening with ``O_APPEND`` and emitting each record as a
+    single ``os.write`` makes every line land contiguously (POSIX appends
+    are atomic seek+write), so the file stays parseable no matter how
+    many runs share it.
+    """
+
+    def __init__(self, path: str | Path):
+        self._fd = os.open(str(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+
+    def append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "RecordAppender":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 @dataclass(frozen=True)
@@ -238,7 +269,7 @@ def run_figure(
     """
     record_path = _bench_record_path(figure, record_dir)
     result = FigureResult(figure=figure)
-    record_fh = record_path.open("a", encoding="utf-8") if record_path else None
+    record_fh = RecordAppender(record_path) if record_path else None
     try:
         with obs.span("bench.figure", figure=figure):
             for pattern_name, pattern in patterns.items():
@@ -258,10 +289,7 @@ def run_figure(
                                 dnf_count[system] += 1
                         result.measurements.append(cell)
                         if record_fh is not None:
-                            record_fh.write(
-                                json.dumps(measurement_record(figure, cell), sort_keys=True) + "\n"
-                            )
-                            record_fh.flush()
+                            record_fh.append(measurement_record(figure, cell))
     finally:
         if record_fh is not None:
             record_fh.close()

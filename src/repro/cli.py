@@ -43,6 +43,20 @@ Commands
 
         python -m repro signatures --dataset internet --out sig.csv
 
+``serve``
+    Boot the asyncio counting service (``repro.serve``) over named
+    graphs — dynamic batching, request coalescing, result caching,
+    admission control::
+
+        python -m repro serve --dataset internet --dataset amazon0601 --port 8765
+        python -m repro serve --graph web.el --max-queue 256 --cache-ttl 600
+
+``query``
+    Query a running server with the blocking client::
+
+        python -m repro query --graph-name internet --pattern triangle
+        python -m repro query --graph-name internet --pattern diamond --timeout 5 --json
+
 ``datasets``
     List the built-in Table 1 dataset stand-ins.
 """
@@ -104,9 +118,49 @@ def _cmd_count(args) -> int:
         else None
     )
     runtime = get_runtime()
+
+    def run_count():
+        with observer if observer is not None else nullcontext():
+            return runtime.count(
+                graph, pattern, engine=args.engine, config=cfg, parallel=parallel
+            )
+
     t0 = time.perf_counter()
-    with observer if observer is not None else nullcontext():
-        res = runtime.count(graph, pattern, engine=args.engine, config=cfg, parallel=parallel)
+    if args.timeout is not None:
+        # The same Deadline machinery the serve pipeline uses. Counting is
+        # not cooperatively cancellable, so the count runs on a daemon
+        # thread and an expired deadline abandons it for a clean exit.
+        import sys
+        import threading
+
+        from .serve.protocol import DEADLINE_EXCEEDED, Deadline
+
+        if args.timeout <= 0:
+            raise SystemExit("--timeout must be positive")
+        deadline = Deadline.after(args.timeout)
+        box: dict = {}
+
+        def work():
+            try:
+                box["res"] = run_count()
+            except BaseException as exc:  # re-raised on the main thread
+                box["err"] = exc
+
+        worker = threading.Thread(target=work, daemon=True)
+        worker.start()
+        worker.join(deadline.remaining())
+        if worker.is_alive():
+            print(
+                f"error: {DEADLINE_EXCEEDED}: count did not finish within "
+                f"{args.timeout:g} s",
+                file=sys.stderr,
+            )
+            return 124
+        if "err" in box:
+            raise box["err"]
+        res = box["res"]
+    else:
+        res = run_count()
     dt = time.perf_counter() - t0
     print(f"graph    : {gname} ({graph.num_vertices:,} vertices, {graph.num_edges:,} edges)")
     print(f"pattern  : {args.pattern} ({pattern.n} vertices, {pattern.num_edges} edges)")
@@ -191,6 +245,79 @@ def _cmd_signatures(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import CountingService, GraphRegistry, ServiceConfig
+    from .serve.http import serve_forever
+
+    if not args.dataset and not args.graph:
+        raise SystemExit("register at least one graph: --dataset NAME and/or --graph FILE")
+    registry = GraphRegistry()
+    for name in args.dataset or []:
+        entry = registry.load_dataset(name, args.scale)
+        print(f"loaded  : {entry.name} ({entry.graph.num_vertices:,} vertices, "
+              f"{entry.graph.num_edges:,} edges) from {entry.source}")
+    for path in args.graph or []:
+        entry = registry.load_file(path)
+        print(f"loaded  : {entry.name} ({entry.graph.num_vertices:,} vertices, "
+              f"{entry.graph.num_edges:,} edges) from {entry.source}")
+    config = ServiceConfig(
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        batch_window_s=args.batch_window,
+        executor_workers=args.executor_workers,
+        result_cache_size=args.cache_size,
+        result_cache_ttl_s=args.cache_ttl,
+        default_timeout_s=args.default_timeout,
+    )
+    service = CountingService(registry, config=config)
+
+    def on_bound(addr):
+        print(f"serving : http://{addr[0]}:{addr[1]}  "
+              f"(POST /v1/count, GET /v1/healthz, GET /v1/metrics)")
+
+    try:
+        asyncio.run(serve_forever(service, args.host, args.port, on_bound=on_bound))
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json as _json
+    import sys
+
+    from .serve.client import CountClient, ServeClientError
+
+    client = CountClient(args.host, args.port, timeout=args.client_timeout)
+    try:
+        res = client.count(
+            args.graph_name,
+            args.pattern,
+            engine=args.engine,
+            timeout_s=args.timeout,
+            use_cache=not args.no_cache,
+        )
+    except ServeClientError as exc:
+        print(f"error: {exc.code}: {exc.message}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(res.to_json(), sort_keys=True))
+        return 0
+    print(f"graph    : {res.graph} (fingerprint {res.fingerprint[:12]})")
+    print(f"pattern  : {res.pattern}")
+    print(f"count    : {res.count:,}")
+    print(f"engine   : {res.engine}")
+    served = "result cache" if res.cached else (
+        "coalesced with an in-flight query" if res.coalesced else
+        f"executed (batch of {res.batch_size})"
+    )
+    print(f"served   : {served}")
+    print(f"time     : {res.elapsed_s:.3f} s server-side")
+    return 0
+
+
 def _cmd_datasets(_args) -> int:
     print(f"{'name':<20}{'type':<24}{'source':<8}{'paper |V|':>12}{'paper |E|':>14}")
     for spec in datasets.DATASETS.values():
@@ -220,6 +347,8 @@ def main(argv: list[str] | None = None) -> int:
                    help="fringe-count implementation (poly = vectorized batches)")
     p.add_argument("--batch-size", type=int, default=4096,
                    help="matches per vectorized batch (poly mode)")
+    p.add_argument("--timeout", type=float, metavar="SECONDS",
+                   help="deadline for the count; on expiry exit 124 instead of hanging")
     p.add_argument("--stats", action="store_true",
                    help="print runtime stats (compile/match/venn-fc time, plan cache)")
     p.add_argument("--trace", metavar="FILE",
@@ -245,6 +374,46 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--out", help="write all signatures to this CSV file")
     p.add_argument("--top", type=int, default=10, help="print the top-k by degree")
     p.set_defaults(fn=_cmd_signatures)
+
+    p = sub.add_parser("serve", help="run the asyncio counting service (repro.serve)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument("--dataset", action="append", metavar="NAME",
+                   help="register a built-in dataset (repeatable)")
+    p.add_argument("--graph", action="append", metavar="FILE",
+                   help="register a graph file (repeatable; named by file stem)")
+    p.add_argument("--scale", default="small", choices=["tiny", "small", "large"],
+                   help="scale for --dataset graphs")
+    p.add_argument("--max-queue", type=int, default=128,
+                   help="admission queue bound; excess requests get 'overloaded'")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="max requests per micro-batch")
+    p.add_argument("--batch-window", type=float, default=0.0, metavar="SECONDS",
+                   help="linger this long after the first dequeue to fill a batch")
+    p.add_argument("--executor-workers", type=int, default=2,
+                   help="thread-pool workers executing batches")
+    p.add_argument("--cache-size", type=int, default=1024,
+                   help="result-cache entries (0 disables)")
+    p.add_argument("--cache-ttl", type=float, default=300.0, metavar="SECONDS",
+                   help="result-cache time-to-live")
+    p.add_argument("--default-timeout", type=float, default=30.0, metavar="SECONDS",
+                   help="deadline for requests that carry none")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("query", help="query a running counting server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument("--graph-name", required=True, help="registry name of the graph")
+    p.add_argument("--pattern", required=True, help="pattern expression (DSL)")
+    p.add_argument("--engine", default="auto", choices=["auto", "general", "specialized"])
+    p.add_argument("--timeout", type=float, metavar="SECONDS",
+                   help="server-side deadline for this query")
+    p.add_argument("--client-timeout", type=float, default=60.0,
+                   help="socket timeout for the HTTP call")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the server's result cache")
+    p.add_argument("--json", action="store_true", help="print the raw JSON response")
+    p.set_defaults(fn=_cmd_query)
 
     p = sub.add_parser("datasets", help="list built-in datasets")
     p.set_defaults(fn=_cmd_datasets)

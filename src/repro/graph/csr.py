@@ -13,6 +13,7 @@ edges are removed at construction time.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -39,7 +40,7 @@ class CSRGraph:
         that already guarantee them pass ``False`` to skip the O(m) check.
     """
 
-    __slots__ = ("rowptr", "colidx", "_degrees")
+    __slots__ = ("rowptr", "colidx", "_degrees", "_fingerprint")
 
     def __init__(self, rowptr: np.ndarray, colidx: np.ndarray, *, validate: bool = True):
         rowptr = np.ascontiguousarray(rowptr, dtype=INDEX_DTYPE)
@@ -49,6 +50,7 @@ class CSRGraph:
         self.rowptr = rowptr
         self.colidx = colidx
         self._degrees = np.diff(rowptr)
+        self._fingerprint: str | None = None
         # Freeze the buffers: engines may share one graph across worker
         # threads/processes and must never mutate it (paper §3.5: the graph
         # is read-only while counting).
@@ -159,6 +161,25 @@ class CSRGraph:
         src = np.repeat(np.arange(self.num_vertices, dtype=INDEX_DTYPE), self._degrees)
         mask = src < self.colidx
         return np.column_stack([src[mask], self.colidx[mask]])
+
+    def fingerprint(self) -> str:
+        """Stable sha256 content digest of the graph (hex, cached).
+
+        Hashes ``n`` plus the raw ``rowptr``/``colidx`` bytes, so two
+        graphs built from the same edge list share a fingerprint across
+        processes and machines (the arrays are canonical: int64,
+        contiguous, adjacency sorted). This is the content identity used
+        by serving-layer result caches; ``__hash__`` stays identity-based
+        so live objects remain cheap dict keys.
+        """
+        fp = self._fingerprint
+        if fp is None:
+            h = hashlib.sha256()
+            h.update(np.int64(self.num_vertices).tobytes())
+            h.update(self.rowptr.tobytes())
+            h.update(self.colidx.tobytes())
+            fp = self._fingerprint = h.hexdigest()
+        return fp
 
     def max_degree(self) -> int:
         return int(self._degrees.max(initial=0))

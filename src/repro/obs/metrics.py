@@ -39,6 +39,9 @@ _LATENCY_BUCKETS = (
     0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
 )
 _SIZE_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144)
+# Micro-batch sizes are small by construction (ServiceConfig.max_batch):
+# powers of two up to a generous cap keep every realistic size resolvable.
+_BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
 
 DEFAULT_BUCKETS = _LATENCY_BUCKETS
 
@@ -49,6 +52,9 @@ BUCKETS: dict[str, tuple[float, ...]] = {
     "repro_venn_set_size": _SIZE_BUCKETS,
     "repro_candidate_set_size": _SIZE_BUCKETS,
     "repro_batch_matches": _SIZE_BUCKETS,
+    "repro_serve_latency_seconds": _LATENCY_BUCKETS,
+    "repro_serve_queue_wait_seconds": _LATENCY_BUCKETS,
+    "repro_serve_batch_size": _BATCH_BUCKETS,
 }
 
 

@@ -151,6 +151,45 @@ class Runtime:
             s.plan_cache_hits / total if total else 0.0
         )
 
+    def result_cache_key(
+        self,
+        graph: CSRGraph,
+        pattern: Pattern,
+        config: EngineConfig | None = None,
+        *,
+        engine: str = "auto",
+    ) -> tuple:
+        """Canonical key for caching a *count result* across calls.
+
+        ``(graph content fingerprint, plan key, engine)`` — two requests
+        share a key iff they are guaranteed the same count: same graph
+        bytes (via :meth:`CSRGraph.fingerprint`), isomorphic pattern under
+        the same config (via :func:`plan_key`), same engine selection.
+        ``repro.serve`` uses this for request coalescing and its result
+        cache; it is exposed here so every caching layer agrees on one
+        key construction.
+        """
+        cfg = config or EngineConfig()
+        return (graph.fingerprint(), plan_key(pattern, cfg), engine)
+
+    def count_batch(
+        self,
+        graph: CSRGraph,
+        specs: Sequence[tuple[Pattern, str, EngineConfig | None]],
+    ) -> list[CountResult]:
+        """Executor-friendly batch entry: count several patterns on one graph.
+
+        ``specs`` is a sequence of ``(pattern, engine, config)`` triples.
+        The calls run sequentially on the calling thread (safe to offload
+        to a thread-pool executor as one job), sharing the plan cache and
+        the graph; one ``count_batch`` span groups them in traces.
+        """
+        with obs.span("count_batch", graph_edges=graph.num_edges, batch=len(specs)):
+            return [
+                self.count(graph, pattern, engine=engine, config=config)
+                for pattern, engine, config in specs
+            ]
+
     def cache_info(self) -> dict:
         with self._lock:
             return {

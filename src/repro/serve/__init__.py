@@ -1,0 +1,49 @@
+"""``repro.serve`` — the online counting service (stdlib asyncio only).
+
+The paper amortizes all pattern-side work ahead of time and reuses it
+across inputs; this package turns that profile into an actual service:
+load graphs once (:class:`GraphRegistry`), accept queries over HTTP
+(:mod:`repro.serve.http`), and run them through an admission-controlled,
+coalescing, micro-batching pipeline (:class:`CountingService`) on the
+shared :class:`~repro.runtime.Runtime`.
+
+Quick tour::
+
+    from repro.serve import GraphRegistry, CountingService, ServiceConfig
+    from repro.serve.http import start_in_thread
+    from repro.serve.client import CountClient
+
+    registry = GraphRegistry()
+    registry.load_dataset("internet", "tiny")
+    service = CountingService(registry, config=ServiceConfig(max_queue=64))
+    handle = start_in_thread(service)           # real HTTP on a daemon thread
+    client = CountClient(port=handle.port)
+    client.count_value("internet", "triangle")  # -> exact count
+    handle.stop()
+"""
+
+from .protocol import (
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    CountRequest,
+    CountResponse,
+    Deadline,
+    ErrorResponse,
+    ServeError,
+)
+from .registry import GraphEntry, GraphRegistry
+from .service import CountingService, ServiceConfig
+
+__all__ = [
+    "GraphRegistry",
+    "GraphEntry",
+    "CountingService",
+    "ServiceConfig",
+    "CountRequest",
+    "CountResponse",
+    "ErrorResponse",
+    "ServeError",
+    "Deadline",
+    "ERROR_CODES",
+    "PROTOCOL_VERSION",
+]

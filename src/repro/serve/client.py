@@ -1,0 +1,101 @@
+"""A small blocking client for the counting service.
+
+``http.client`` only — callers that want asyncio can speak the JSON
+protocol themselves (it is three routes); this client covers the CLI
+``repro query`` command, scripts, and tests. One connection per call
+matches the server's ``Connection: close`` policy.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Mapping
+
+from .protocol import CountRequest, CountResponse, ErrorResponse, response_from_json
+
+__all__ = ["ServeClientError", "CountClient"]
+
+
+class ServeClientError(RuntimeError):
+    """A typed error response (or transport failure) from the service."""
+
+    def __init__(self, code: str, message: str, status: int | None = None):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.status = status
+
+
+class CountClient:
+    """Blocking client: ``CountClient(port=...).count("internet", "triangle")``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765, *, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, body: bytes | None = None):
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            return resp.status, resp.read()
+        except OSError as exc:
+            raise ServeClientError("transport", f"{type(exc).__name__}: {exc}") from exc
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str, payload: dict | None = None) -> tuple[int, Any]:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        status, raw = self._request(method, path, body)
+        try:
+            return status, json.loads(raw.decode("utf-8"))
+        except ValueError as exc:
+            raise ServeClientError(
+                "transport", f"non-JSON response (HTTP {status}): {raw[:200]!r}", status
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def count(
+        self,
+        graph: str,
+        pattern: str,
+        *,
+        engine: str = "auto",
+        timeout_s: float | None = None,
+        use_cache: bool = True,
+        config: Mapping[str, Any] | None = None,
+    ) -> CountResponse:
+        """POST /v1/count; returns the typed response or raises
+        :class:`ServeClientError` carrying the service's error code."""
+        request = CountRequest(
+            graph=graph,
+            pattern=pattern,
+            engine=engine,
+            timeout_s=timeout_s,
+            use_cache=use_cache,
+            config=config,
+        )
+        status, obj = self._json("POST", "/v1/count", request.to_json())
+        response = response_from_json(obj)
+        if isinstance(response, ErrorResponse):
+            raise ServeClientError(response.code, response.message, status)
+        return response
+
+    def count_value(self, graph: str, pattern: str, **kwargs) -> int:
+        return self.count(graph, pattern, **kwargs).count
+
+    def healthz(self) -> dict:
+        status, obj = self._json("GET", "/v1/healthz")
+        if status != 200:
+            raise ServeClientError("transport", f"healthz returned HTTP {status}", status)
+        return obj
+
+    def metrics(self) -> str:
+        status, raw = self._request("GET", "/v1/metrics")
+        if status != 200:
+            raise ServeClientError("transport", f"metrics returned HTTP {status}", status)
+        return raw.decode("utf-8")

@@ -1,0 +1,253 @@
+"""A stdlib-only HTTP/1.1 shell over :class:`CountingService`.
+
+Built directly on ``asyncio.start_server`` — no third-party web
+framework — because the surface is three routes:
+
+* ``POST /v1/count``   — body: :class:`~repro.serve.protocol.CountRequest`
+  JSON; response: a count or a typed error (status mapped from the code);
+* ``GET  /v1/healthz`` — liveness + registered graphs + uptime;
+* ``GET  /v1/metrics`` — the service registry in Prometheus text format
+  (``repro.obs.export.prometheus_text``), scrape-ready.
+
+Connections are one-request (``Connection: close``): the workload is a
+counting query per connection, and closing keeps the parser a
+straight-line read. :func:`start_in_thread` runs a whole server on a
+background thread — the blocking client, the tests, and the CI smoke
+job all use it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+from ..obs.export import prometheus_text
+from .protocol import BAD_REQUEST, PROTOCOL_VERSION, CountRequest, ErrorResponse, ServeError
+from .service import CountingService
+
+__all__ = ["serve_forever", "start_server", "start_in_thread", "ServerHandle"]
+
+_MAX_BODY = 4 * 1024 * 1024  # a pattern expression has no business being larger
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def _http_response(status: int, body: bytes, content_type: str = "application/json") -> bytes:
+    reason = _STATUS_TEXT.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def _json_response(status: int, obj: dict) -> bytes:
+    return _http_response(status, json.dumps(obj, sort_keys=True).encode("utf-8"))
+
+
+def _error_response(error: ErrorResponse) -> bytes:
+    return _json_response(error.http_status, error.to_json())
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one request: (method, path, body) or None on EOF/garbage."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        return None
+    method, path = parts[0].upper(), parts[1]
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                return None
+    if content_length < 0 or content_length > _MAX_BODY:
+        return None
+    body = await reader.readexactly(content_length) if content_length else b""
+    return method, path, body
+
+
+async def _handle_count(service: CountingService, body: bytes) -> bytes:
+    try:
+        payload = json.loads(body.decode("utf-8")) if body else None
+    except (ValueError, UnicodeDecodeError):
+        return _error_response(ErrorResponse(BAD_REQUEST, "body is not valid JSON"))
+    try:
+        request = CountRequest.from_json(payload)
+    except ServeError as exc:
+        return _error_response(exc.response())
+    response = await service.submit(request)
+    if isinstance(response, ErrorResponse):
+        return _error_response(response)
+    return _json_response(200, response.to_json())
+
+
+def _handle_healthz(service: CountingService) -> bytes:
+    import time
+
+    return _json_response(
+        200,
+        {
+            "v": PROTOCOL_VERSION,
+            "ok": True,
+            "uptime_s": time.time() - service.started_at,
+            "graphs": service.registry.describe(),
+        },
+    )
+
+
+def _handle_metrics(service: CountingService) -> bytes:
+    text = prometheus_text(service.metrics)
+    return _http_response(200, text.encode("utf-8"), content_type="text/plain; version=0.0.4")
+
+
+def make_handler(service: CountingService):
+    """The ``asyncio.start_server`` connection callback for ``service``."""
+
+    async def handler(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            parsed = await _read_request(reader)
+            if parsed is None:
+                writer.close()
+                return
+            method, path, body = parsed
+            if path == "/v1/count" and method == "POST":
+                out = await _handle_count(service, body)
+            elif path == "/v1/healthz" and method == "GET":
+                out = _handle_healthz(service)
+            elif path == "/v1/metrics" and method == "GET":
+                out = _handle_metrics(service)
+            elif path in ("/v1/count", "/v1/healthz", "/v1/metrics"):
+                out = _json_response(405, {"ok": False, "error": {"code": "bad_request",
+                                                                  "message": "method not allowed"}})
+            else:
+                out = _json_response(404, {"ok": False, "error": {"code": "bad_request",
+                                                                  "message": f"no route {path}"}})
+            writer.write(out)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    return handler
+
+
+async def start_server(
+    service: CountingService, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Start the service (if needed) and an HTTP server bound to host:port."""
+    if service._batcher is None:
+        service.start()
+    return await asyncio.start_server(make_handler(service), host, port)
+
+
+async def serve_forever(
+    service: CountingService,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    ready: "threading.Event | None" = None,
+    on_bound=None,
+) -> None:
+    """Run until cancelled (the CLI entry point)."""
+    server = await start_server(service, host, port)
+    bound = server.sockets[0].getsockname()
+    if on_bound is not None:
+        on_bound(bound)
+    if ready is not None:
+        ready.set()
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        await service.stop()
+
+
+class ServerHandle:
+    """A running server on a background thread: ``.port``, ``.stop()``."""
+
+    def __init__(self, thread: threading.Thread, loop: asyncio.AbstractEventLoop,
+                 host: str, port: int):
+        self._thread = thread
+        self._loop = loop
+        self.host = host
+        self.port = port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout)
+
+    # _stop_event is attached by start_in_thread (it must be created on
+    # the server's own loop).
+    _stop_event: asyncio.Event
+
+
+def start_in_thread(
+    service: CountingService, host: str = "127.0.0.1", port: int = 0
+) -> ServerHandle:
+    """Boot service + HTTP server on a fresh event loop in a daemon thread.
+
+    Returns once the socket is bound (so ``.port`` is final even for
+    ``port=0``). Tests, the demo example, and the CI smoke job use this
+    to get a real server without managing asyncio themselves.
+    """
+    ready = threading.Event()
+    box: dict = {}
+
+    async def main() -> None:
+        stop_event = asyncio.Event()
+        box["loop"] = asyncio.get_running_loop()
+        box["stop_event"] = stop_event
+        server = await start_server(service, host, port)
+        box["port"] = server.sockets[0].getsockname()[1]
+        ready.set()
+        try:
+            async with server:
+                await stop_event.wait()
+        finally:
+            await service.stop()
+
+    def run() -> None:
+        try:
+            asyncio.run(main())
+        except Exception as exc:  # surface boot failures to the caller
+            box["error"] = exc
+            ready.set()
+
+    thread = threading.Thread(target=run, name="repro-serve-http", daemon=True)
+    thread.start()
+    ready.wait(timeout=30.0)
+    if "error" in box:
+        raise RuntimeError(f"server failed to start: {box['error']}") from box["error"]
+    if "port" not in box:
+        raise RuntimeError("server did not come up within 30 s")
+    handle = ServerHandle(thread, box["loop"], host, box["port"])
+    handle._stop_event = box["stop_event"]
+    return handle

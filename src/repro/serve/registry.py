@@ -1,0 +1,167 @@
+"""Shared graph registry: load named graphs once, serve them to everyone.
+
+The serving model is many queries over few graphs — exactly the paper's
+amortization profile, where all pattern-side work is reused across
+inputs. The registry is the graph-side counterpart: each named graph is
+loaded (from a built-in dataset or a file via :mod:`repro.graph.io`)
+exactly once, fingerprinted, and shared read-only across every request.
+
+Replacing or evicting a name fires subscribed listeners, which is how
+the service's result cache learns to drop entries for the old content
+(the cache is also keyed by content fingerprint, so stale hits are
+impossible even between the event and the drop — the listener reclaims
+memory and keeps hit-ratio metrics honest).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ..graph import datasets
+from ..graph.csr import CSRGraph
+from ..graph.io import load_graph
+from .protocol import UNKNOWN_GRAPH, ServeError
+
+__all__ = ["GraphEntry", "GraphRegistry"]
+
+
+@dataclass(frozen=True)
+class GraphEntry:
+    """One registered graph plus the metadata the service reports."""
+
+    name: str
+    graph: CSRGraph
+    fingerprint: str
+    source: str
+    loaded_at: float  # unix time
+    load_s: float  # wall-clock spent loading/fingerprinting
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "vertices": self.graph.num_vertices,
+            "edges": self.graph.num_edges,
+            "fingerprint": self.fingerprint,
+            "source": self.source,
+            "loaded_at": self.loaded_at,
+            "load_s": self.load_s,
+        }
+
+
+# listener(name, old_entry, new_entry): new_entry is None on eviction.
+Listener = Callable[[str, GraphEntry | None, GraphEntry | None], None]
+
+
+class GraphRegistry:
+    """Thread-safe name → :class:`GraphEntry` map with a load lifecycle."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries: dict[str, GraphEntry] = {}
+        self._listeners: list[Listener] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        graph: CSRGraph,
+        *,
+        source: str = "memory",
+        load_s: float | None = None,
+    ) -> GraphEntry:
+        """Register (or replace) ``name``; fires listeners on replacement."""
+        if not name:
+            raise ValueError("graph name must be non-empty")
+        t0 = time.perf_counter()
+        fingerprint = graph.fingerprint()  # outside the lock: O(n + m) hash
+        entry = GraphEntry(
+            name=name,
+            graph=graph,
+            fingerprint=fingerprint,
+            source=source,
+            loaded_at=time.time(),
+            load_s=load_s if load_s is not None else time.perf_counter() - t0,
+        )
+        with self._lock:
+            old = self._entries.get(name)
+            self._entries[name] = entry
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(name, old, entry)
+        return entry
+
+    def load_dataset(self, name: str, scale: str = "small", *, alias: str | None = None) -> GraphEntry:
+        """Load a built-in dataset stand-in (memoized by the datasets module)."""
+        t0 = time.perf_counter()
+        try:
+            graph = datasets.make(name, scale)
+        except KeyError as exc:
+            raise ServeError(UNKNOWN_GRAPH, str(exc)) from exc
+        return self.register(
+            alias or name,
+            graph,
+            source=f"dataset:{name}:{scale}",
+            load_s=time.perf_counter() - t0,
+        )
+
+    def load_file(self, path: str | Path, *, alias: str | None = None) -> GraphEntry:
+        """Load a graph file (format by extension, see :mod:`repro.graph.io`)."""
+        path = Path(path)
+        t0 = time.perf_counter()
+        graph = load_graph(path)
+        return self.register(
+            alias or path.stem, graph, source=str(path), load_s=time.perf_counter() - t0
+        )
+
+    def evict(self, name: str) -> GraphEntry:
+        """Remove ``name``; fires listeners; raises ``unknown_graph`` if absent."""
+        with self._lock:
+            entry = self._entries.pop(name, None)
+            listeners = list(self._listeners)
+        if entry is None:
+            raise ServeError(UNKNOWN_GRAPH, f"no graph named {name!r}")
+        for listener in listeners:
+            listener(name, entry, None)
+        return entry
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> GraphEntry:
+        with self._lock:
+            entry = self._entries.get(name)
+            known = sorted(self._entries) if entry is None else ()
+        if entry is None:
+            raise ServeError(
+                UNKNOWN_GRAPH, f"no graph named {name!r} (registered: {list(known)})"
+            )
+        return entry
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def describe(self) -> list[dict]:
+        with self._lock:
+            entries = sorted(self._entries.values(), key=lambda e: e.name)
+        return [e.describe() for e in entries]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: Listener) -> None:
+        """Register a replace/evict listener (service cache invalidation)."""
+        with self._lock:
+            self._listeners.append(listener)

@@ -1,6 +1,8 @@
 """Tests for the benchmark harness (cells, figures, reporting)."""
 
 
+import json
+
 import pytest
 
 from repro.bench import (
@@ -118,3 +120,46 @@ class TestWorkloads:
         assert len(W.fig12_series(10)) == 6
         assert list(W.fig12_series(10))[-1] == "fig4+10"
         assert len(W.fig15_patterns()) >= 7
+
+
+class TestRecordAppender:
+    def test_single_process_round_trip(self, tmp_path):
+        from repro.bench.harness import RecordAppender
+
+        path = tmp_path / "BENCH_x.json"
+        with RecordAppender(path) as appender:
+            appender.append({"cell": 1})
+            appender.append({"cell": 2, "note": "y"})
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records == [{"cell": 1}, {"cell": 2, "note": "y"}]
+
+    def test_concurrent_appenders_produce_only_parseable_lines(self, tmp_path):
+        import subprocess
+        import sys
+
+        path = tmp_path / "BENCH_concurrent.json"
+        writers, per_writer = 4, 150
+        script = (
+            "import sys\n"
+            "from repro.bench.harness import RecordAppender\n"
+            "wid, path, n = int(sys.argv[1]), sys.argv[2], int(sys.argv[3])\n"
+            "with RecordAppender(path) as a:\n"
+            "    for i in range(n):\n"
+            "        a.append({'writer': wid, 'i': i, 'pad': 'x' * 400})\n"
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(w), str(path), str(per_writer)]
+            )
+            for w in range(writers)
+        ]
+        for p in procs:
+            assert p.wait(timeout=60) == 0
+        lines = path.read_text().splitlines()
+        assert len(lines) == writers * per_writer
+        seen = set()
+        for line in lines:
+            rec = json.loads(line)  # every line parses — no interleaving
+            assert len(rec["pad"]) == 400
+            seen.add((rec["writer"], rec["i"]))
+        assert len(seen) == writers * per_writer  # no record lost or torn

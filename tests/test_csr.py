@@ -128,3 +128,45 @@ class TestTransforms:
         nxg.add_edge("a", "b")
         with pytest.raises(ValueError):
             CSRGraph.from_networkx(nxg)
+
+
+class TestFingerprint:
+    def test_same_edge_list_same_fingerprint(self):
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3)]
+        a = CSRGraph.from_edges(edges)
+        b = CSRGraph.from_edges(list(reversed(edges)))  # order-insensitive
+        assert a.fingerprint() == b.fingerprint()
+        assert len(a.fingerprint()) == 64  # sha256 hex
+
+    def test_different_graphs_differ(self):
+        a = CSRGraph.from_edges([(0, 1), (1, 2)])
+        b = CSRGraph.from_edges([(0, 1), (0, 2)])
+        c = CSRGraph.from_edges([(0, 1), (1, 2)], num_vertices=4)  # isolated vertex
+        assert len({a.fingerprint(), b.fingerprint(), c.fingerprint()}) == 3
+
+    def test_cached_and_stable(self):
+        g = gen.erdos_renyi(20, 0.3, seed=5)
+        assert g.fingerprint() is g.fingerprint()  # memoized
+        assert g.fingerprint() == gen.erdos_renyi(20, 0.3, seed=5).fingerprint()
+
+    def test_identity_hash_untouched(self):
+        a = CSRGraph.from_edges([(0, 1)])
+        b = CSRGraph.from_edges([(0, 1)])
+        assert a.fingerprint() == b.fingerprint()
+        assert hash(a) != hash(b)  # __hash__ stays identity-based
+        assert a == b  # content equality unchanged
+
+    def test_fingerprint_stable_across_processes(self):
+        import subprocess
+        import sys
+
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]
+        local = CSRGraph.from_edges(edges).fingerprint()
+        script = (
+            "from repro.graph.csr import CSRGraph; "
+            f"print(CSRGraph.from_edges({edges!r}).fingerprint())"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True, check=True
+        )
+        assert out.stdout.strip() == local

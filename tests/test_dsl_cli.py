@@ -155,3 +155,38 @@ class TestCLI:
             cli_main(
                 ["count", "--graph", "x.el", "--dataset", "internet", "--pattern", "triangle"]
             )
+
+
+class TestCountTimeout:
+    def test_timeout_ok_path(self, capsys):
+        rc = cli_main(
+            ["count", "--dataset", "internet", "--scale", "tiny",
+             "--pattern", "triangle", "--timeout", "60"]
+        )
+        assert rc == 0
+        assert "count" in capsys.readouterr().out
+
+    def test_timeout_expiry_exits_124(self, monkeypatch, capsys):
+        import time
+
+        import repro.runtime as runtime_mod
+
+        class SlowRuntime(runtime_mod.Runtime):
+            def count(self, *args, **kwargs):
+                time.sleep(5)
+                return super().count(*args, **kwargs)
+
+        monkeypatch.setattr(runtime_mod, "get_runtime", lambda: SlowRuntime())
+        rc = cli_main(
+            ["count", "--dataset", "internet", "--scale", "tiny",
+             "--pattern", "triangle", "--timeout", "0.1"]
+        )
+        assert rc == 124
+        assert "deadline_exceeded" in capsys.readouterr().err
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["count", "--dataset", "internet", "--scale", "tiny",
+                 "--pattern", "triangle", "--timeout", "0"]
+            )
