@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Documentation consistency checker (the CI ``docs-check`` job).
+
+Two checks, both cheap enough for tier-1:
+
+* **API coverage** — every name in the ``__all__`` of the public
+  modules (``repro.core``, ``repro.serve``, ``repro.runtime``) must
+  appear in ``docs/API.md``. A new public name without a line in the
+  API reference fails CI, which is the mechanism that keeps the docs
+  tracking the code.
+* **Link integrity** — every intra-repo markdown link in the tracked
+  doc set (``README.md``, ``DESIGN.md``, ``docs/*.md``, ...) must
+  resolve to an existing file, including ``file#Lnn`` / ``file#anchor``
+  forms (the anchor is checked for existence of the *file* only).
+
+Run from the repo root (or anywhere — paths resolve relative to this
+file): ``python scripts/check_docs.py``. Exit status 0 = clean.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# modules whose __all__ must be fully covered by docs/API.md
+PUBLIC_MODULES = ("repro.core", "repro.serve", "repro.runtime")
+
+# markdown files whose intra-repo links are validated
+DOC_FILES = (
+    "README.md",
+    "DESIGN.md",
+    "ROADMAP.md",
+    "EXPERIMENTS.md",
+    "docs/API.md",
+    "docs/ARCHITECTURE.md",
+    "docs/TUNING.md",
+)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def missing_api_names() -> list[str]:
+    """Public names absent from docs/API.md, as ``module.name`` strings."""
+    import importlib
+
+    sys.path.insert(0, str(REPO / "src"))
+    api_text = (REPO / "docs" / "API.md").read_text(encoding="utf-8")
+    missing = []
+    for modname in PUBLIC_MODULES:
+        module = importlib.import_module(modname)
+        for name in module.__all__:
+            # word-boundary match so e.g. "count" doesn't cover "count_many"
+            if not re.search(rf"\b{re.escape(name)}\b", api_text):
+                missing.append(f"{modname}.{name}")
+    return missing
+
+
+def broken_links() -> list[str]:
+    """Intra-repo markdown links whose target file does not exist."""
+    broken = []
+    for relpath in DOC_FILES:
+        doc = REPO / relpath
+        if not doc.exists():
+            broken.append(f"{relpath}: file listed in DOC_FILES is missing")
+            continue
+        in_fence = False
+        for lineno, line in enumerate(doc.read_text(encoding="utf-8").splitlines(), 1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in _LINK.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                path = target.split("#", 1)[0]  # drop #anchor / #Lnn
+                if not path:
+                    continue
+                resolved = (doc.parent / path).resolve()
+                if not resolved.exists():
+                    broken.append(f"{relpath}:{lineno}: broken link -> {target}")
+    return broken
+
+
+def main() -> int:
+    failures = []
+    missing = missing_api_names()
+    if missing:
+        failures.append(
+            "public names missing from docs/API.md:\n  " + "\n  ".join(missing)
+        )
+    dead = broken_links()
+    if dead:
+        failures.append("broken intra-repo links:\n  " + "\n  ".join(dead))
+    if failures:
+        print("docs-check FAILED\n" + "\n".join(failures))
+        return 1
+    names = sum(
+        len(__import__("importlib").import_module(m).__all__) for m in PUBLIC_MODULES
+    )
+    print(f"docs-check OK: {names} public names covered, all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

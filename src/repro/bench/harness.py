@@ -35,6 +35,7 @@ from ..baselines import (
     StackEnumerator,
     TDFSCounter,
 )
+from ..core.engine import EngineConfig
 from ..graph.csr import CSRGraph
 from ..patterns.pattern import Pattern
 from ..runtime import Runtime
@@ -109,11 +110,19 @@ class Measurement:
 _BENCH_RUNTIME = Runtime()
 
 
-def _fringe_runner(pattern: Pattern):
+def _fringe_runner(pattern: Pattern, engine: str = "auto", config: EngineConfig | None = None):
     def run(graph: CSRGraph, timeout_s: float) -> int | None:
-        return _BENCH_RUNTIME.count(graph, pattern).count
+        return _BENCH_RUNTIME.count(graph, pattern, engine=engine, config=config).count
 
     return run
+
+
+# The frontier-vs-serial comparison pins both sides to general (non-
+# specialized) execution: "fringe-serial" is the per-match stack matcher
+# with scalar venn + iterative fc, "fringe-frontier" the vectorized
+# frontier-at-a-time backend. Same plans, same counts — the cell records
+# isolate the matching/evaluation substrate.
+_SERIAL_CONFIG = EngineConfig(fc_impl="iterative", specialized=False)
 
 
 def _baseline_runner(cls):
@@ -133,6 +142,8 @@ def _baseline_runner(cls):
 
 SYSTEMS: dict[str, Callable[[Pattern], Callable | None]] = {
     "fringe-sgc": lambda pat: _fringe_runner(pat),
+    "fringe-frontier": lambda pat: _fringe_runner(pat, engine="frontier"),
+    "fringe-serial": lambda pat: _fringe_runner(pat, engine="general", config=_SERIAL_CONFIG),
     "graphset-like": _baseline_runner(IEPCounter),
     "tdfs-like": _baseline_runner(TDFSCounter),
     "stmatch-like": _baseline_runner(StackEnumerator),

@@ -43,13 +43,13 @@ def render_figure(result: FigureResult, *, metric: str = "edges/s (geomean)") ->
     return "\n".join(lines)
 
 
-def render_speedups(result: FigureResult, over: str) -> str:
-    """Fringe-SGC speedup over one baseline, per pattern (paper §6.1)."""
+def render_speedups(result: FigureResult, over: str, of: str = "fringe-sgc") -> str:
+    """Speedup of ``of`` over one baseline, per pattern (paper §6.1)."""
     rows = []
     for p in result.patterns():
-        s = result.speedup(p, over=over)
+        s = result.speedup(p, over=over, of=of)
         rows.append(f"  {p:<24} {s:.2f}x" if s is not None else f"  {p:<24} n/a")
-    return f"speedup of fringe-sgc over {over}:\n" + "\n".join(rows)
+    return f"speedup of {of} over {over}:\n" + "\n".join(rows)
 
 
 def save_figure(result: FigureResult, path: str | Path) -> None:

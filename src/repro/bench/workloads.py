@@ -26,12 +26,16 @@ __all__ = [
     "fig15_patterns",
     "kron_input",
     "internet_input",
+    "frontier_patterns",
+    "frontier_inputs",
     "ALL_SYSTEMS",
     "FRINGE_ONLY",
+    "FRONTIER_VS_SERIAL",
 ]
 
 ALL_SYSTEMS = ("fringe-sgc", "graphset-like", "tdfs-like", "stmatch-like")
 FRINGE_ONLY = ("fringe-sgc",)
+FRONTIER_VS_SERIAL = ("fringe-frontier", "fringe-serial")
 
 
 def ten_inputs(scale: str = "tiny") -> dict[str, CSRGraph]:
@@ -102,6 +106,30 @@ def fig13_series(upto: int = 10) -> dict[str, Pattern]:
 def fig14_series(upto: int = 10) -> dict[str, Pattern]:
     """Fig. 14: adding tri-fringes."""
     return _fig4_series((0, 1, 2), upto)
+
+
+# ----------------------------------------------------------------------
+# frontier-vs-serial: patterns with >= 3 core vertices, where the
+# vectorized frontier matcher does the heavy lifting (the 1-/2-core
+# families bottleneck on venn/fc, which both systems share).
+# ----------------------------------------------------------------------
+def frontier_patterns() -> dict[str, Pattern]:
+    return {
+        "triangle": catalog.triangle(),
+        "4-cycle": catalog.four_cycle(),
+        "diamond": catalog.diamond(),
+        "4-clique": catalog.four_clique(),
+        "tailed 4-clique": catalog.tailed_four_clique(1),
+        "3-tailed 4-clique": catalog.tailed_four_clique(3),
+    }
+
+
+def frontier_inputs(scale: str = "tiny") -> dict[str, CSRGraph]:
+    """One Kronecker + two dataset stand-ins (BENCH_frontier.json cells)."""
+    return {
+        name: datasets.make(name, scale)
+        for name in ("kron_g500-logn20", "amazon0601", "internet")
+    }
 
 
 # ----------------------------------------------------------------------

@@ -106,6 +106,7 @@ def _cmd_count(args) -> int:
         venn_impl=args.venn_impl,
         fc_impl=args.fc_impl,
         batch_size=args.batch_size,
+        max_frontier_rows=args.max_frontier_rows,
     )
     parallel = (
         ParallelConfig(num_workers=args.workers, schedule=args.schedule)
@@ -336,7 +337,8 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("count", help="count a pattern in a graph")
     _add_graph_args(p)
     p.add_argument("--pattern", required=True, help="pattern expression (DSL)")
-    p.add_argument("--engine", default="auto", choices=["auto", "general", "specialized"])
+    p.add_argument("--engine", default="auto",
+                   choices=["auto", "general", "specialized", "frontier"])
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes (>1 enables the fork-pool backend)")
     p.add_argument("--schedule", default="dynamic", choices=list(SCHEDULES),
@@ -347,6 +349,9 @@ def main(argv: list[str] | None = None) -> int:
                    help="fringe-count implementation (poly = vectorized batches)")
     p.add_argument("--batch-size", type=int, default=4096,
                    help="matches per vectorized batch (poly mode)")
+    p.add_argument("--max-frontier-rows", type=int, default=1 << 20,
+                   help="frontier-engine expansion cap; wider frontiers split "
+                        "into blocks (bounds memory on dense graphs)")
     p.add_argument("--timeout", type=float, metavar="SECONDS",
                    help="deadline for the count; on expiry exit 124 instead of hanging")
     p.add_argument("--stats", action="store_true",
@@ -405,7 +410,8 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--port", type=int, default=8765)
     p.add_argument("--graph-name", required=True, help="registry name of the graph")
     p.add_argument("--pattern", required=True, help="pattern expression (DSL)")
-    p.add_argument("--engine", default="auto", choices=["auto", "general", "specialized"])
+    p.add_argument("--engine", default="auto",
+                   choices=["auto", "general", "specialized", "frontier"])
     p.add_argument("--timeout", type=float, metavar="SECONDS",
                    help="server-side deadline for this query")
     p.add_argument("--client-timeout", type=float, default=60.0,

@@ -9,10 +9,17 @@ plan cache.
 from .backends import (
     Backend,
     BatchBackend,
+    FrontierBackend,
     MultiprocessBackend,
     PartialSum,
     SerialBackend,
     select_backend,
+)
+from .frontier import (
+    FrontierStats,
+    frontier_match_matrix,
+    has_edges_bulk,
+    iter_frontier_blocks,
 )
 from .binomial import PascalTable, nCk, nck_array
 from .engine import (
@@ -33,6 +40,11 @@ from .venn import VENN_IMPLS, venn_hash, venn_merge, venn_sorted
 __all__ = [
     "Backend",
     "BatchBackend",
+    "FrontierBackend",
+    "FrontierStats",
+    "frontier_match_matrix",
+    "has_edges_bulk",
+    "iter_frontier_blocks",
     "MultiprocessBackend",
     "PartialSum",
     "SerialBackend",

@@ -7,12 +7,18 @@ a :class:`PartialSum`: the raw symmetry-reduced ordered-embedding sum
 normalize; :meth:`CountingPlan.normalize` is the single shared
 normalization path.
 
-Three substrates mirror the paper's execution models:
+Four substrates mirror the paper's execution models:
 
 * :class:`SerialBackend` — the per-match Venn + fc pipeline (Listing 5);
 * :class:`BatchBackend` — the vectorized fringe-polynomial formulation
   (one batched Venn pass per ``batch_size`` matches — the data-parallel
-  shape the CUDA kernel uses);
+  shape the CUDA kernel uses), still driven by the per-match stack
+  matcher;
+* :class:`FrontierBackend` — fully vectorized: the frontier-at-a-time
+  matcher (:mod:`repro.core.frontier`) produces whole *blocks* of core
+  embeddings per NumPy kernel pass and feeds them straight into
+  ``venn_batch`` + the compiled fringe polynomial, eliminating the
+  per-embedding Python loop end to end (the warp model of Listing 7);
 * :class:`MultiprocessBackend` — fork-pool distribution of start-vertex
   chunks across workers, each running an inner backend; the read-only CSR
   graph and the plan are shared copy-on-write, never pickled.
@@ -35,6 +41,7 @@ import numpy as np
 from .. import obs
 from ..graph.csr import CSRGraph
 from .fringe_count import fc_iterative, fc_recursive
+from .frontier import FrontierStats, iter_frontier_blocks
 from .matcher import match_cores
 from .plan import CountingPlan
 from .venn import VENN_IMPLS, venn_batch
@@ -45,6 +52,7 @@ __all__ = [
     "Backend",
     "SerialBackend",
     "BatchBackend",
+    "FrontierBackend",
     "MultiprocessBackend",
     "select_backend",
 ]
@@ -222,6 +230,74 @@ class BatchBackend:
         return PartialSum(sigma=total, matches=matches, venn_fc_s=venn_fc_s, batches=batches)
 
 
+class FrontierBackend:
+    """Frontier-at-a-time vectorized matching + batched venn/fc.
+
+    The matcher side runs level-synchronously over 2-D embedding blocks
+    (:func:`repro.core.frontier.iter_frontier_blocks`); each completed
+    block goes through ``venn_batch`` and the compiled fringe polynomial
+    in ``batch_size`` chunks. ``EngineConfig.max_frontier_rows`` bounds
+    the candidate volume of any expansion step (larger frontiers split
+    and traverse depth-first), so memory stays fixed on dense graphs.
+    """
+
+    name = "frontier"
+
+    def run(
+        self,
+        plan: CountingPlan,
+        graph: CSRGraph,
+        start_vertices: Sequence[int] | None = None,
+    ) -> PartialSum:
+        cfg = plan.config
+        registry = obs.active_metrics()  # checked once, outside the hot loop
+        fstats = FrontierStats()
+        positions = list(plan.anchored_positions)
+        poly = plan.poly
+        sigma = 0
+        matches = 0
+        venn_fc_s = 0.0
+        batches = 0
+        t_run = time.perf_counter()
+        with obs.span("frontier.match", pattern_vertices=plan.pattern.n):
+            for block in iter_frontier_blocks(
+                graph,
+                plan.core_plan,
+                start_vertices=start_vertices,
+                max_rows=cfg.max_frontier_rows,
+                stats=fstats,
+            ):
+                matches += len(block)
+                if plan.q == 0:
+                    # no anchored fringes: every core embedding contributes 1
+                    sigma += len(block)
+                    continue
+                t0 = time.perf_counter()
+                for s in range(0, len(block), cfg.batch_size):
+                    chunk = block[s : s + cfg.batch_size]
+                    with obs.span("venn_fc_batch", matches=len(chunk)):
+                        venns = venn_batch(graph, chunk[:, positions], chunk)
+                        if registry is not None:
+                            registry.histogram("repro_batch_matches").observe(len(chunk))
+                            registry.histogram("repro_venn_set_size").observe_many(
+                                venns.sum(axis=1).tolist()
+                            )
+                        sigma += poly.evaluate_batch(venns)
+                    batches += 1
+                venn_fc_s += time.perf_counter() - t0
+        elapsed = time.perf_counter() - t_run
+        if registry is not None:
+            registry.counter("repro_core_matches_total").inc(matches)
+            registry.counter("repro_batches_flushed_total").inc(batches)
+            registry.counter("repro_venn_fc_seconds_total").inc(venn_fc_s)
+            registry.counter("repro_frontier_rows_total").inc(fstats.rows)
+            if elapsed > 0:
+                registry.gauge("repro_frontier_rows_per_second").set(
+                    fstats.rows / elapsed
+                )
+        return PartialSum(sigma=sigma, matches=matches, venn_fc_s=venn_fc_s, batches=batches)
+
+
 # ----------------------------------------------------------------------
 # multiprocess execution
 # ----------------------------------------------------------------------
@@ -357,12 +433,22 @@ class MultiprocessBackend:
         registry.gauge("repro_workers").set(len(busy))
 
 
-def select_backend(config, parallel=None) -> Backend:
-    """Map an EngineConfig (+ optional ParallelConfig) to a backend."""
+def select_backend(config, parallel=None, engine: str = "auto") -> Backend:
+    """Map an EngineConfig (+ optional ParallelConfig + engine) to a backend.
+
+    ``engine="frontier"`` forces the vectorized frontier matcher; with a
+    multi-worker ``parallel`` it becomes the fork pool's inner backend
+    (each worker runs the frontier over its start-vertex slice).
+    """
+    if engine == "frontier":
+        inner: Backend = FrontierBackend()
+    else:
+        inner = BatchBackend() if config.fc_impl == "poly" else SerialBackend()
     if parallel is not None and getattr(parallel, "num_workers", 1) > 1:
         return MultiprocessBackend(
             num_workers=parallel.num_workers,
             schedule=parallel.schedule,
             chunk_size=parallel.chunk_size,
+            inner=inner if engine == "frontier" else None,
         )
-    return BatchBackend() if config.fc_impl == "poly" else SerialBackend()
+    return inner

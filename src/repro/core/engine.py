@@ -61,6 +61,11 @@ class EngineConfig:
     (:func:`repro.core.venn.venn_batch`) — the data-parallel formulation
     and the default for benchmarks. ``"recursive"``/``"iterative"`` are
     the per-match Listing 5 ports.
+
+    ``max_frontier_rows`` only affects the frontier backend
+    (``engine="frontier"``): it caps the candidate volume of one
+    frontier-expansion step; wider frontiers are split into blocks that
+    are traversed depth-first, bounding peak memory on dense graphs.
     """
 
     venn_impl: str = "sorted"  # "hash" | "sorted" | "merge" (per-match paths)
@@ -68,6 +73,7 @@ class EngineConfig:
     symmetry_breaking: bool = True
     specialized: bool = True  # use closed-form engines for small cores
     batch_size: int = 4096  # matches per vectorized batch (poly mode)
+    max_frontier_rows: int = 1 << 20  # frontier-backend expansion cap (rows)
 
     def __post_init__(self):
         if self.venn_impl not in VENN_IMPLS:
@@ -76,6 +82,8 @@ class EngineConfig:
             raise ValueError(f"unknown fc_impl {self.fc_impl!r}")
         if self.batch_size < 1:
             raise ValueError("batch_size must be positive")
+        if self.max_frontier_rows < 1:
+            raise ValueError("max_frontier_rows must be positive")
 
 
 @dataclass(frozen=True)
@@ -253,7 +261,10 @@ def count_subgraphs(
       (paper §3.4 "specialized code for patterns with small cores"), the
       general engine otherwise;
     * ``"general"`` — always the general matcher + Venn + fc pipeline;
-    * ``"specialized"`` — require a specialized engine (raises if none).
+    * ``"specialized"`` — require a specialized engine (raises if none);
+    * ``"frontier"`` — the vectorized frontier-at-a-time backend
+      (:mod:`repro.core.frontier`): whole blocks of core embeddings per
+      NumPy pass instead of one per Python iteration.
     """
     from ..runtime import get_runtime
 

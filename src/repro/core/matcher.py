@@ -12,6 +12,12 @@ Like STMatch, memory use is fixed: one stack of candidate iterators per
 search, never a worklist of partial embeddings. ``match_cores`` is a
 generator, so the engine streams matches into the Venn/fc stage without
 materializing anything.
+
+:mod:`repro.core.frontier` is this matcher's vectorized sibling: it
+enumerates the *same* symmetry-reduced embedding set (same plan, same
+constraints) but level-synchronously over a 2-D frontier array instead
+of one tuple at a time — trading the fixed memory bound for bulk NumPy
+throughput, with ``max_rows`` restoring a configurable bound.
 """
 
 from __future__ import annotations

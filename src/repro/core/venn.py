@@ -9,7 +9,8 @@ exactly the anchors in S}`` for every non-empty ``S ⊆ {0..q-1}``.
 The array layout matches the paper: index ``S`` is a q-bit bitset, bit
 ``i`` meaning the i-th anchor vertex; element 0 is unused.
 
-Three interchangeable implementations:
+Three interchangeable *per-match* implementations (selected with
+``EngineConfig.venn_impl``, dispatched through :data:`VENN_IMPLS`):
 
 * :func:`venn_hash` — reference, Python dict of neighbour→bitmask;
 * :func:`venn_sorted` — NumPy sort-reduce over the concatenated adjacency
@@ -18,6 +19,13 @@ Three interchangeable implementations:
   search the adjacency lists of anchors *later in the stack* only, then
   computationally correct the counts ("about twice as fast as always
   checking all adjacency lists").
+
+Plus one *batched* formulation, :func:`venn_batch`: a ``(B, q)`` matrix
+of anchor rows in, a ``(B, 2^q)`` matrix of region counts out, computed
+with a single gather + sort-reduce pass across the whole batch. It is
+not part of :data:`VENN_IMPLS` (which holds the per-match paths); the
+batch and frontier backends call it directly and pair it with the
+compiled fringe polynomial (``fc_impl="poly"``).
 """
 
 from __future__ import annotations

@@ -232,7 +232,7 @@ class Runtime:
         explicit ``decomposition`` compiles a fresh plan and bypasses the
         cache — the cache key cannot see the core choice.
         """
-        if engine not in ("auto", "general", "specialized"):
+        if engine not in ("auto", "general", "specialized", "frontier"):
             raise ValueError(f"unknown engine {engine!r}")
         if self.observer is not None:
             with self.observer:
@@ -316,8 +316,9 @@ class Runtime:
             )
 
         # specialized closed-form engines (never under the fork pool —
-        # they are whole-graph vectorized formulas, not root-sliceable)
-        if parallel is None and start_vertices is None and engine != "general":
+        # they are whole-graph vectorized formulas, not root-sliceable;
+        # "general" and "frontier" both force the matcher pipeline)
+        if parallel is None and start_vertices is None and engine in ("auto", "specialized"):
             if cfg.specialized or engine == "specialized":
                 special = plan.specialized_engine()
                 if special is not None:
@@ -337,7 +338,7 @@ class Runtime:
                         f"no specialized engine for a {plan.decomp.num_core}-vertex core"
                     )
 
-        backend = select_backend(cfg, parallel)
+        backend = select_backend(cfg, parallel, engine=engine)
         t0 = time.perf_counter()
         with obs.span("execute", backend=backend.name):
             partial = backend.run(plan, graph, start_vertices=start_vertices)
@@ -345,6 +346,8 @@ class Runtime:
         value = plan.normalize(partial.sigma, context="parallel count" if parallel else "count")
         if parallel is not None:
             engine_str = f"fringe-parallel(x{parallel.num_workers},{parallel.schedule})"
+        elif engine == "frontier":
+            engine_str = f"fringe-frontier(max_rows={cfg.max_frontier_rows})"
         else:
             engine_str = f"fringe-general({cfg.venn_impl},{cfg.fc_impl})"
         return CountResult(

@@ -118,7 +118,7 @@ class Deadline:
 # ----------------------------------------------------------------------
 # requests
 # ----------------------------------------------------------------------
-_ENGINES = ("auto", "general", "specialized")
+_ENGINES = ("auto", "general", "specialized", "frontier")
 
 
 @dataclass(frozen=True)
@@ -188,7 +188,14 @@ class CountRequest:
         from ..core.engine import EngineConfig
 
         overrides = dict(self.config or {})
-        allowed = {"venn_impl", "fc_impl", "batch_size", "symmetry_breaking", "specialized"}
+        allowed = {
+            "venn_impl",
+            "fc_impl",
+            "batch_size",
+            "symmetry_breaking",
+            "specialized",
+            "max_frontier_rows",
+        }
         unknown = set(overrides) - allowed
         if unknown:
             raise ServeError(BAD_REQUEST, f"unknown config keys: {sorted(unknown)}")

@@ -1,0 +1,36 @@
+"""Documentation consistency, enforced in tier-1.
+
+Runs the same checks as the CI ``docs-check`` job
+(``scripts/check_docs.py``): every public ``__all__`` name of
+``repro.core`` / ``repro.serve`` / ``repro.runtime`` appears in
+docs/API.md, and every intra-repo markdown link resolves.
+"""
+
+import sys
+from pathlib import Path
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+sys.path.insert(0, str(SCRIPTS))
+
+import check_docs  # noqa: E402
+
+
+def test_api_docs_cover_public_names():
+    missing = check_docs.missing_api_names()
+    assert not missing, f"public names missing from docs/API.md: {missing}"
+
+
+def test_intra_repo_links_resolve():
+    dead = check_docs.broken_links()
+    assert not dead, f"broken markdown links: {dead}"
+
+
+def test_docs_exist_and_are_linked():
+    repo = check_docs.REPO
+    for doc in ("docs/ARCHITECTURE.md", "docs/TUNING.md", "docs/API.md"):
+        assert (repo / doc).exists(), doc
+    readme = (repo / "README.md").read_text()
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/TUNING.md" in readme
+    design = (repo / "DESIGN.md").read_text()
+    assert "docs/ARCHITECTURE.md" in design

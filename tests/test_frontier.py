@@ -1,0 +1,239 @@
+"""The vectorized frontier matcher (:mod:`repro.core.frontier`).
+
+Three layers of evidence that the frontier backend is a drop-in
+replacement for the serial engine:
+
+* **Count agreement** — frontier counts equal general-engine counts on
+  the full Fig. 1 pattern catalog (plus fringe-heavy tails and the
+  Fig. 4 pattern) over a Kronecker graph, two built-in dataset
+  stand-ins, and hypothesis-randomized graphs.
+* **Matcher equivalence** — the set of frontier rows is exactly the set
+  of tuples the per-match stack matcher yields, so symmetry-breaking
+  masks and injectivity filters agree constraint-for-constraint.
+* **Budget invariance** — absurdly small ``max_frontier_rows`` values
+  force recursive block splitting and change nothing but peak memory.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import FrontierBackend, FrontierStats
+from repro.core.engine import EngineConfig
+from repro.core.frontier import (
+    frontier_match_matrix,
+    has_edges_bulk,
+    iter_frontier_blocks,
+)
+from repro.core.matcher import build_plan, match_cores
+from repro.core.plan import compile_pattern
+from repro.graph import datasets, generators as gen
+from repro.graph.csr import CSRGraph
+from repro.patterns import catalog
+from repro.patterns.decompose import decompose
+from repro.patterns.pattern import Pattern
+from repro.runtime import Runtime
+
+SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@pytest.fixture(scope="module")
+def rt() -> Runtime:
+    return Runtime()
+
+
+@pytest.fixture(scope="module")
+def kron() -> CSRGraph:
+    return gen.kronecker(6, edge_factor=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def dataset_graphs() -> dict[str, CSRGraph]:
+    return {
+        "amazon0601": datasets.make("amazon0601", "tiny"),
+        "internet": datasets.make("internet", "tiny"),
+    }
+
+
+def catalog_patterns() -> dict[str, Pattern]:
+    out = dict(catalog.fig1_patterns())
+    out["2-tailed 4-clique"] = catalog.tailed_four_clique(2)
+    out["3-tailed 4-clique"] = catalog.tailed_four_clique(3)
+    out["fig4"] = catalog.fig4_pattern()
+    return out
+
+
+# ----------------------------------------------------------------------
+# count agreement: frontier == general on every catalog pattern
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(catalog_patterns()))
+def test_counts_agree_kron(rt, kron, name):
+    pattern = catalog_patterns()[name]
+    assert (
+        rt.count(kron, pattern, engine="frontier").count
+        == rt.count(kron, pattern, engine="general").count
+    )
+
+
+@pytest.mark.parametrize("dataset", ["amazon0601", "internet"])
+@pytest.mark.parametrize("name", sorted(catalog_patterns()))
+def test_counts_agree_datasets(rt, dataset_graphs, dataset, name):
+    graph = dataset_graphs[dataset]
+    pattern = catalog_patterns()[name]
+    assert (
+        rt.count(graph, pattern, engine="frontier").count
+        == rt.count(graph, pattern, engine="general").count
+    )
+
+
+@st.composite
+def graph_edges(draw, max_n=14):
+    n = draw(st.integers(min_value=4, max_value=max_n))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    mask = draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
+    return n, [p for p, m in zip(pairs, mask) if m]
+
+
+class TestRandomizedAgreement:
+    @SETTINGS
+    @given(graph_edges())
+    def test_diamond_and_tailed_clique(self, ne):
+        n, edges = ne
+        g = CSRGraph.from_edges(edges, num_vertices=n)
+        rt = Runtime()
+        for pattern in (catalog.diamond(), catalog.tailed_four_clique(2)):
+            assert (
+                rt.count(g, pattern, engine="frontier").count
+                == rt.count(g, pattern, engine="general").count
+            )
+
+    @SETTINGS
+    @given(graph_edges(max_n=10), st.integers(min_value=1, max_value=9))
+    def test_tiny_budget_still_agrees(self, ne, max_rows):
+        n, edges = ne
+        g = CSRGraph.from_edges(edges, num_vertices=n)
+        rt = Runtime()
+        cfg = EngineConfig(max_frontier_rows=max_rows)
+        pattern = catalog.four_cycle()
+        assert (
+            rt.count(g, pattern, engine="frontier", config=cfg).count
+            == rt.count(g, pattern, engine="general").count
+        )
+
+
+# ----------------------------------------------------------------------
+# matcher equivalence: frontier rows == stack-matcher tuples
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "pattern",
+    [catalog.triangle(), catalog.four_cycle(), catalog.diamond(), catalog.four_clique()],
+    ids=["triangle", "4-cycle", "diamond", "4-clique"],
+)
+def test_rows_match_stack_matcher(kron, pattern):
+    plan = build_plan(decompose(pattern))
+    rows = frontier_match_matrix(kron, plan)
+    frontier_set = {tuple(int(v) for v in row) for row in rows}
+    stack_set = set(match_cores(kron, plan))
+    assert frontier_set == stack_set
+    assert len(rows) == len(frontier_set)  # no duplicate embeddings
+
+
+def test_symmetry_breaking_masks_applied(kron):
+    """With symmetry breaking off, the frontier sees the full
+    group_order-fold set of ordered core embeddings, exactly like the
+    stack matcher (each Aut_dec orbit expands to group_order tuples)."""
+    decomp = decompose(catalog.four_clique())
+    sym = build_plan(decomp, symmetry_breaking=True)
+    nosym = build_plan(decomp, symmetry_breaking=False)
+    n_sym = len(frontier_match_matrix(kron, sym))
+    n_nosym = len(frontier_match_matrix(kron, nosym))
+    assert sym.group_order > 1
+    assert n_nosym == n_sym * sym.group_order
+    assert {tuple(map(int, r)) for r in frontier_match_matrix(kron, nosym)} == set(
+        match_cores(kron, nosym)
+    )
+
+
+def test_start_vertices_partition(kron):
+    """Root slices partition the embedding set (the parallel layer's
+    work-distribution contract)."""
+    plan = build_plan(decompose(catalog.diamond()))
+    total = len(frontier_match_matrix(kron, plan))
+    mid = kron.num_vertices // 2
+    lo = len(frontier_match_matrix(kron, plan, start_vertices=range(mid)))
+    hi = len(
+        frontier_match_matrix(kron, plan, start_vertices=range(mid, kron.num_vertices))
+    )
+    assert lo + hi == total
+
+
+# ----------------------------------------------------------------------
+# budget splitting and early exit
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("max_rows", [1, 3, 17])
+def test_budget_splitting_identical_counts(rt, kron, max_rows):
+    pattern = catalog.tailed_four_clique(2)
+    cfg = EngineConfig(max_frontier_rows=max_rows)
+    stats = FrontierStats()
+    plan = build_plan(decompose(pattern))
+    blocks = list(iter_frontier_blocks(kron, plan, max_rows=max_rows, stats=stats))
+    assert stats.spills > 0  # tiny budgets must actually split
+    assert all(len(b) >= 1 for b in blocks)
+    assert (
+        rt.count(kron, pattern, engine="frontier", config=cfg).count
+        == rt.count(kron, pattern, engine="general").count
+    )
+
+
+def test_peak_width_bounded_by_budget(kron):
+    plan = build_plan(decompose(catalog.four_clique()))
+    unbounded = FrontierStats()
+    list(iter_frontier_blocks(kron, plan, stats=unbounded))
+    budget = 8
+    stats = FrontierStats()
+    list(iter_frontier_blocks(kron, plan, max_rows=budget, stats=stats))
+    assert stats.peak_width <= max(budget, unbounded.peak_width // 2)
+    assert stats.rows == unbounded.rows  # same total work, smaller blocks
+
+
+def test_empty_frontier_early_exit():
+    """A star pattern's hub needs degree 5; a path graph has none, so the
+    frontier dies at the root level and the backend reports zero."""
+    g = gen.path_graph(12)
+    pattern = catalog.star(6)  # 5-star: hub degree 5
+    plan = compile_pattern(pattern, EngineConfig())
+    partial = FrontierBackend().run(plan, g)
+    assert partial.matches == 0
+    assert partial.sigma == 0
+    assert partial.batches == 0
+
+
+def test_max_rows_validation(kron):
+    plan = build_plan(decompose(catalog.triangle()))
+    with pytest.raises(ValueError):
+        list(iter_frontier_blocks(kron, plan, max_rows=0))
+    with pytest.raises(ValueError):
+        EngineConfig(max_frontier_rows=0)
+
+
+# ----------------------------------------------------------------------
+# has_edges_bulk: the vectorized binary search
+# ----------------------------------------------------------------------
+def test_has_edges_bulk_matches_scalar(kron):
+    rng = np.random.default_rng(7)
+    u = rng.integers(0, kron.num_vertices, size=500)
+    v = rng.integers(0, kron.num_vertices, size=500)
+    got = has_edges_bulk(kron.rowptr, kron.colidx, u, v)
+    expect = np.array([kron.has_edge(int(a), int(b)) for a, b in zip(u, v)])
+    assert np.array_equal(got, expect)
+
+
+def test_has_edges_bulk_empty_inputs():
+    g = CSRGraph.from_edges([], num_vertices=4)
+    out = has_edges_bulk(
+        g.rowptr, g.colidx, np.array([0, 1], dtype=np.int64), np.array([1, 2], dtype=np.int64)
+    )
+    assert not out.any()
+    assert has_edges_bulk(g.rowptr, g.colidx, np.array([], dtype=np.int64), np.array([], dtype=np.int64)).shape == (0,)
