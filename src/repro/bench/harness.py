@@ -110,11 +110,26 @@ class Measurement:
 _BENCH_RUNTIME = Runtime()
 
 
-def _fringe_runner(pattern: Pattern, engine: str = "auto", config: EngineConfig | None = None):
+def _fringe_runner(
+    pattern: Pattern,
+    engine: str = "auto",
+    config: EngineConfig | None = None,
+    parallel=None,
+):
     def run(graph: CSRGraph, timeout_s: float) -> int | None:
-        return _BENCH_RUNTIME.count(graph, pattern, engine=engine, config=config).count
+        return _BENCH_RUNTIME.count(
+            graph, pattern, engine=engine, config=config, parallel=parallel
+        ).count
 
     return run
+
+
+def _parallel_config(pool: str):
+    # small chunks so two workers genuinely split the tiny bench inputs
+    # (the pool backends bypass themselves when one chunk covers the graph)
+    from ..parallel.pool import ParallelConfig
+
+    return ParallelConfig(num_workers=2, chunk_size=64, pool=pool)
 
 
 # The frontier-vs-serial comparison pins both sides to general (non-
@@ -147,6 +162,14 @@ SYSTEMS: dict[str, Callable[[Pattern], Callable | None]] = {
     "graphset-like": _baseline_runner(IEPCounter),
     "tdfs-like": _baseline_runner(TDFSCounter),
     "stmatch-like": _baseline_runner(StackEnumerator),
+    # the pool comparison (BENCH_pool.json): per-call fork pool vs the
+    # persistent spawn pool, both 2 workers over the general engine
+    "fringe-fork": lambda pat: _fringe_runner(
+        pat, engine="general", parallel=_parallel_config("fork")
+    ),
+    "fringe-pool": lambda pat: _fringe_runner(
+        pat, engine="general", parallel=_parallel_config("persistent")
+    ),
 }
 
 

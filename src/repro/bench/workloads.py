@@ -28,14 +28,19 @@ __all__ = [
     "internet_input",
     "frontier_patterns",
     "frontier_inputs",
+    "pool_patterns",
+    "pool_inputs",
     "ALL_SYSTEMS",
     "FRINGE_ONLY",
     "FRONTIER_VS_SERIAL",
+    "POOL_SYSTEMS",
 ]
 
 ALL_SYSTEMS = ("fringe-sgc", "graphset-like", "tdfs-like", "stmatch-like")
 FRINGE_ONLY = ("fringe-sgc",)
 FRONTIER_VS_SERIAL = ("fringe-frontier", "fringe-serial")
+# serial reference first so every cell is cross-checked against it
+POOL_SYSTEMS = ("fringe-serial", "fringe-fork", "fringe-pool")
 
 
 def ten_inputs(scale: str = "tiny") -> dict[str, CSRGraph]:
@@ -129,6 +134,27 @@ def frontier_inputs(scale: str = "tiny") -> dict[str, CSRGraph]:
     return {
         name: datasets.make(name, scale)
         for name in ("kron_g500-logn20", "amazon0601", "internet")
+    }
+
+
+# ----------------------------------------------------------------------
+# fork-pool vs persistent-pool (BENCH_pool.json): small inputs where the
+# per-call fork spin-up dominates — exactly the latency the resident
+# pool amortizes away.
+# ----------------------------------------------------------------------
+def pool_patterns() -> dict[str, Pattern]:
+    return {
+        "wedge": catalog.wedge(),
+        "3-star": catalog.star(3),
+        "diamond": catalog.diamond(),
+        "4-star": catalog.star(4),
+    }
+
+
+def pool_inputs(scale: str = "tiny") -> dict[str, CSRGraph]:
+    return {
+        name: datasets.make(name, scale)
+        for name in ("kron_g500-logn20", "amazon0601")
     }
 
 

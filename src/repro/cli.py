@@ -70,6 +70,7 @@ from .core.engine import EngineConfig
 from .core.venn import VENN_IMPLS
 from .graph import datasets
 from .graph.io import load_graph
+from .parallel.pool import POOLS
 from .parallel.schedule import SCHEDULES
 from .patterns.decompose import decompose
 from .patterns.dsl import parse_pattern, pattern_names
@@ -81,16 +82,23 @@ def _load_graph(args):
     if args.graph and args.dataset:
         raise SystemExit("give either --graph FILE or --dataset NAME, not both")
     if args.graph:
-        return load_graph(args.graph), args.graph
-    if args.dataset:
-        return datasets.make(args.dataset, args.scale), args.dataset
-    raise SystemExit("a graph is required: --graph FILE or --dataset NAME")
+        graph, name = load_graph(args.graph), args.graph
+    elif args.dataset:
+        graph, name = datasets.make(args.dataset, args.scale), args.dataset
+    else:
+        raise SystemExit("a graph is required: --graph FILE or --dataset NAME")
+    if getattr(args, "relabel_degree", False):
+        graph = graph.relabel_by_degree()
+    return graph, name
 
 
 def _add_graph_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--graph", help="graph file (.el/.txt/.mtx/.gr/.npz)")
     p.add_argument("--dataset", help="built-in dataset name (see `datasets`)")
     p.add_argument("--scale", default="small", choices=["tiny", "small", "large"])
+    p.add_argument("--relabel-degree", action="store_true",
+                   help="renumber vertices by descending degree before counting "
+                        "(counts are invariant; improves chunk load balance)")
 
 
 def _cmd_count(args) -> int:
@@ -109,8 +117,8 @@ def _cmd_count(args) -> int:
         max_frontier_rows=args.max_frontier_rows,
     )
     parallel = (
-        ParallelConfig(num_workers=args.workers, schedule=args.schedule)
-        if args.workers > 1
+        ParallelConfig(num_workers=args.workers, schedule=args.schedule, pool=args.pool)
+        if args.workers > 1 or args.pool == "persistent"
         else None
     )
     observer = (
@@ -255,19 +263,28 @@ def _cmd_serve(args) -> int:
     if not args.dataset and not args.graph:
         raise SystemExit("register at least one graph: --dataset NAME and/or --graph FILE")
     registry = GraphRegistry()
+
+    def loaded(entry):
+        if args.relabel_degree:
+            entry = registry.register(
+                entry.name,
+                entry.graph.relabel_by_degree(),
+                source=f"{entry.source}:relabel-degree",
+            )
+        print(f"loaded  : {entry.name} ({entry.graph.num_vertices:,} vertices, "
+              f"{entry.graph.num_edges:,} edges) from {entry.source}")
+
     for name in args.dataset or []:
-        entry = registry.load_dataset(name, args.scale)
-        print(f"loaded  : {entry.name} ({entry.graph.num_vertices:,} vertices, "
-              f"{entry.graph.num_edges:,} edges) from {entry.source}")
+        loaded(registry.load_dataset(name, args.scale))
     for path in args.graph or []:
-        entry = registry.load_file(path)
-        print(f"loaded  : {entry.name} ({entry.graph.num_vertices:,} vertices, "
-              f"{entry.graph.num_edges:,} edges) from {entry.source}")
+        loaded(registry.load_file(path))
     config = ServiceConfig(
         max_queue=args.max_queue,
         max_batch=args.max_batch,
         batch_window_s=args.batch_window,
         executor_workers=args.executor_workers,
+        executor="pool" if args.pool == "persistent" else "thread",
+        pool_workers=args.pool_workers,
         result_cache_size=args.cache_size,
         result_cache_ttl_s=args.cache_ttl,
         default_timeout_s=args.default_timeout,
@@ -340,9 +357,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--engine", default="auto",
                    choices=["auto", "general", "specialized", "frontier"])
     p.add_argument("--workers", type=int, default=1,
-                   help="worker processes (>1 enables the fork-pool backend)")
+                   help="worker processes (>1 enables the parallel backend)")
     p.add_argument("--schedule", default="dynamic", choices=list(SCHEDULES),
                    help="work-distribution strategy for --workers > 1")
+    p.add_argument("--pool", default="fork", choices=list(POOLS),
+                   help="parallel substrate: per-call fork pool or the "
+                        "persistent shared-memory worker pool")
     p.add_argument("--venn-impl", default="sorted", choices=sorted(VENN_IMPLS),
                    help="per-match Venn implementation")
     p.add_argument("--fc-impl", default="poly", choices=["poly", "recursive", "iterative"],
@@ -397,6 +417,14 @@ def main(argv: list[str] | None = None) -> int:
                    help="linger this long after the first dequeue to fill a batch")
     p.add_argument("--executor-workers", type=int, default=2,
                    help="thread-pool workers executing batches")
+    p.add_argument("--pool", default="thread", choices=["thread", "persistent"],
+                   help="where counts execute: service threads (GIL-bound) or "
+                        "the persistent shared-memory worker pool")
+    p.add_argument("--pool-workers", type=int, default=None, metavar="N",
+                   help="worker processes for --pool persistent")
+    p.add_argument("--relabel-degree", action="store_true",
+                   help="renumber each registered graph by descending degree "
+                        "(counts are invariant; improves chunk load balance)")
     p.add_argument("--cache-size", type=int, default=1024,
                    help="result-cache entries (0 disables)")
     p.add_argument("--cache-ttl", type=float, default=300.0, metavar="SECONDS",

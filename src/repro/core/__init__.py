@@ -12,7 +12,9 @@ from .backends import (
     FrontierBackend,
     MultiprocessBackend,
     PartialSum,
+    PoolBackend,
     SerialBackend,
+    record_worker_metrics,
     select_backend,
 )
 from .frontier import (
@@ -47,7 +49,9 @@ __all__ = [
     "iter_frontier_blocks",
     "MultiprocessBackend",
     "PartialSum",
+    "PoolBackend",
     "SerialBackend",
+    "record_worker_metrics",
     "select_backend",
     "CountingPlan",
     "compile_pattern",

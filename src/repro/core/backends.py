@@ -21,7 +21,12 @@ Four substrates mirror the paper's execution models:
   per-embedding Python loop end to end (the warp model of Listing 7);
 * :class:`MultiprocessBackend` — fork-pool distribution of start-vertex
   chunks across workers, each running an inner backend; the read-only CSR
-  graph and the plan are shared copy-on-write, never pickled.
+  graph and the plan are shared copy-on-write, never pickled;
+* :class:`PoolBackend` — the *persistent* spawn-context pool
+  (:mod:`repro.parallel.workerpool`): workers started once and reused
+  across calls, the graph resident in named shared memory
+  (:mod:`repro.parallel.shm`), chunks served by split-half work stealing.
+  Selected with ``ParallelConfig(pool="persistent")``.
 
 This is the seam the GraphBLAS-style multi-backend papers advocate: one
 logical algorithm, several execution substrates, all interchangeable and
@@ -32,6 +37,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import threading
 import time
 from dataclasses import dataclass, replace
 from typing import Protocol, Sequence, runtime_checkable
@@ -54,6 +60,8 @@ __all__ = [
     "BatchBackend",
     "FrontierBackend",
     "MultiprocessBackend",
+    "PoolBackend",
+    "record_worker_metrics",
     "select_backend",
 ]
 
@@ -304,7 +312,11 @@ class FrontierBackend:
 # fork-shared state (set in the parent immediately before the pool starts,
 # cleared in a finally). Forked children see it copy-on-write; nothing is
 # ever pickled through the pool besides chunk indices and PartialSums.
+# _SHARED_LOCK serializes populate -> fork -> clear: two threads counting
+# concurrently (the serve executor path) must not interleave, or one
+# thread's children fork with the other thread's plan/graph.
 _SHARED: dict = {}
+_SHARED_LOCK = threading.Lock()
 
 
 def _worker_run(chunk_ids: Sequence[int]) -> PartialSum:
@@ -390,65 +402,131 @@ class MultiprocessBackend:
         chunks = make_chunks(graph.num_vertices, self.num_workers, self.schedule, self.chunk_size)
         if self.num_workers <= 1 or len(chunks) <= 1:
             return inner.run(plan, graph, start_vertices=None)
-        _SHARED["plan"] = plan
-        _SHARED["graph"] = graph
-        _SHARED["chunks"] = chunks
-        _SHARED["inner"] = inner
-        try:
-            ctx = mp.get_context("fork")
-            with ctx.Pool(processes=self.num_workers) as pool:
-                # dynamic: many chunks round-robined by the pool's own
-                # work queue; static/strided: one chunk list per worker
-                jobs = [[i] for i in range(len(chunks))]
-                results = pool.map(_worker_run, jobs)
-        finally:
-            _SHARED.clear()
+        # the lock spans populate -> fork -> clear: concurrent counts from
+        # other threads wait here instead of clobbering the shared dict
+        with _SHARED_LOCK:
+            _SHARED["plan"] = plan
+            _SHARED["graph"] = graph
+            _SHARED["chunks"] = chunks
+            _SHARED["inner"] = inner
+            try:
+                ctx = mp.get_context("fork")
+                with ctx.Pool(processes=self.num_workers) as pool:
+                    # dynamic: many chunks round-robined by the pool's own
+                    # work queue; static/strided: one chunk list per worker
+                    jobs = [[i] for i in range(len(chunks))]
+                    results = pool.map(_worker_run, jobs)
+            finally:
+                _SHARED.clear()
         total = sum(results, PartialSum())
-        self._record_worker_metrics(total)
+        record_worker_metrics(total)
         return total
 
-    @staticmethod
-    def _record_worker_metrics(total: PartialSum) -> None:
-        """Merge worker deltas into the active registry at reduction.
 
-        Per-pid busy time becomes a labeled gauge series (the Prometheus
-        per-worker view) plus a busy-time histogram, and the makespan /
-        mean-busy ratio becomes the load-imbalance gauge the paper's
-        dynamic-schedule discussion is about (1.0 = perfectly balanced).
-        """
-        registry = obs.active_metrics()
-        if registry is None or not total.workers:
-            return
-        busy: dict[int, float] = {}
-        for w in total.workers:
-            busy[w.pid] = busy.get(w.pid, 0.0) + w.elapsed_s
-            if w.metrics:
-                registry.merge(w.metrics)
-        for pid, seconds in sorted(busy.items()):
-            registry.gauge("repro_worker_busy_seconds", worker=str(pid)).set(seconds)
-            registry.histogram("repro_worker_elapsed_seconds").observe(seconds)
-        mean = sum(busy.values()) / len(busy)
-        imbalance = max(busy.values()) / mean if mean > 0 else 1.0
-        registry.gauge("repro_worker_load_imbalance").set(imbalance)
-        registry.gauge("repro_workers").set(len(busy))
+def record_worker_metrics(total: PartialSum) -> None:
+    """Merge worker deltas into the active registry at reduction.
+
+    Per-pid busy time becomes a labeled gauge series (the Prometheus
+    per-worker view) plus a busy-time histogram, and the makespan /
+    mean-busy ratio becomes the load-imbalance gauge the paper's
+    dynamic-schedule discussion is about (1.0 = perfectly balanced).
+    Shared by the fork pool and the persistent pool — both reduce
+    :class:`WorkerDelta` records off ``PartialSum.workers``.
+    """
+    registry = obs.active_metrics()
+    if registry is None or not total.workers:
+        return
+    busy: dict[int, float] = {}
+    for w in total.workers:
+        busy[w.pid] = busy.get(w.pid, 0.0) + w.elapsed_s
+        if w.metrics:
+            registry.merge(w.metrics)
+    for pid, seconds in sorted(busy.items()):
+        registry.gauge("repro_worker_busy_seconds", worker=str(pid)).set(seconds)
+        registry.histogram("repro_worker_elapsed_seconds").observe(seconds)
+    mean = sum(busy.values()) / len(busy)
+    imbalance = max(busy.values()) / mean if mean > 0 else 1.0
+    registry.gauge("repro_worker_load_imbalance").set(imbalance)
+    registry.gauge("repro_workers").set(len(busy))
+
+
+class PoolBackend:
+    """Persistent spawn-pool distribution over an inner backend.
+
+    The warm-path sibling of :class:`MultiprocessBackend`: instead of
+    forking a pool per call, work goes to the process-wide
+    :class:`repro.parallel.workerpool.WorkerPool` — spawn-context
+    workers started once, the CSR graph resident in named shared memory
+    (zero-copy via :mod:`repro.parallel.shm`), start-vertex chunks
+    served by split-half work stealing. Selected with
+    ``ParallelConfig(pool="persistent")``. Like the fork pool, one
+    worker (or a pre-sliced call) runs the inner backend in-process.
+    """
+
+    name = "pool"
+
+    def __init__(
+        self,
+        num_workers: int,
+        schedule: str = "dynamic",
+        chunk_size: int = 256,
+        inner: Backend | None = None,
+        mp_context: str = "spawn",
+    ):
+        self.num_workers = num_workers
+        self.schedule = schedule
+        self.chunk_size = chunk_size
+        self.inner = inner
+        self.mp_context = mp_context
+
+    def run(
+        self,
+        plan: CountingPlan,
+        graph: CSRGraph,
+        start_vertices: Sequence[int] | None = None,
+    ) -> PartialSum:
+        # deferred: repro.parallel imports cycle back through core.engine
+        from ..parallel.workerpool import get_default_pool
+
+        inner = self.inner if self.inner is not None else select_backend(plan.config)
+        if start_vertices is not None:
+            return inner.run(plan, graph, start_vertices=start_vertices)
+        if self.num_workers <= 1 or graph.num_vertices <= self.chunk_size:
+            return inner.run(plan, graph, start_vertices=None)
+        pool = get_default_pool(self.num_workers, mp_context=self.mp_context)
+        return pool.count(
+            plan, graph, schedule=self.schedule, chunk_size=self.chunk_size, inner=inner
+        )
 
 
 def select_backend(config, parallel=None, engine: str = "auto") -> Backend:
     """Map an EngineConfig (+ optional ParallelConfig + engine) to a backend.
 
     ``engine="frontier"`` forces the vectorized frontier matcher; with a
-    multi-worker ``parallel`` it becomes the fork pool's inner backend
-    (each worker runs the frontier over its start-vertex slice).
+    multi-worker ``parallel`` it becomes the pool's inner backend (each
+    worker runs the frontier over its start-vertex slice). The chosen
+    inner backend is always forwarded to the pool backend — an explicit
+    non-frontier inner is honored, not silently dropped.
+    ``parallel.pool`` picks the substrate: ``"fork"`` (per-call fork
+    pool) or ``"persistent"`` (resident spawn pool + shared memory).
     """
     if engine == "frontier":
         inner: Backend = FrontierBackend()
     else:
         inner = BatchBackend() if config.fc_impl == "poly" else SerialBackend()
     if parallel is not None and getattr(parallel, "num_workers", 1) > 1:
+        if getattr(parallel, "pool", "fork") == "persistent":
+            return PoolBackend(
+                num_workers=parallel.num_workers,
+                schedule=parallel.schedule,
+                chunk_size=parallel.chunk_size,
+                inner=inner,
+                mp_context=getattr(parallel, "mp_context", "spawn"),
+            )
         return MultiprocessBackend(
             num_workers=parallel.num_workers,
             schedule=parallel.schedule,
             chunk_size=parallel.chunk_size,
-            inner=inner if engine == "frontier" else None,
+            inner=inner,
         )
     return inner

@@ -40,7 +40,9 @@ class CSRGraph:
         that already guarantee them pass ``False`` to skip the O(m) check.
     """
 
-    __slots__ = ("rowptr", "colidx", "_degrees", "_fingerprint")
+    # __weakref__: the shm export layer ties shared-memory segment
+    # lifetime to graph objects via weakref.finalize
+    __slots__ = ("rowptr", "colidx", "_degrees", "_fingerprint", "__weakref__")
 
     def __init__(self, rowptr: np.ndarray, colidx: np.ndarray, *, validate: bool = True):
         rowptr = np.ascontiguousarray(rowptr, dtype=INDEX_DTYPE)

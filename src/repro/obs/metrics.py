@@ -55,6 +55,8 @@ BUCKETS: dict[str, tuple[float, ...]] = {
     "repro_serve_latency_seconds": _LATENCY_BUCKETS,
     "repro_serve_queue_wait_seconds": _LATENCY_BUCKETS,
     "repro_serve_batch_size": _BATCH_BUCKETS,
+    "repro_pool_dispatch_seconds": _LATENCY_BUCKETS,
+    "repro_pool_spinup_seconds": _LATENCY_BUCKETS,
 }
 
 

@@ -26,15 +26,27 @@ from ..graph.csr import CSRGraph
 from ..patterns.pattern import Pattern
 from .schedule import SCHEDULES
 
-__all__ = ["parallel_count", "ParallelConfig"]
+__all__ = ["parallel_count", "ParallelConfig", "POOLS"]
+
+
+#: execution substrates for a multi-worker count (ParallelConfig.pool)
+POOLS: tuple[str, ...] = ("fork", "persistent")
 
 
 class ParallelConfig:
-    """Worker count and schedule for :func:`parallel_count`.
+    """Worker count, schedule, and pool substrate for parallel counts.
 
-    Validates eagerly: a bad worker count, schedule name, or chunk size
-    raises here, at construction, instead of failing deep inside
-    ``make_chunks`` mid-run.
+    ``pool`` picks the execution substrate: ``"fork"`` spins up a fresh
+    fork pool per call (copy-on-write sharing, fork platforms only);
+    ``"persistent"`` routes to the resident spawn-context
+    :class:`~repro.parallel.workerpool.WorkerPool` — started once,
+    reused across calls, graph shared through named shared memory, work
+    stealing between workers. ``mp_context`` selects the start method of
+    the persistent pool (ignored for ``"fork"``).
+
+    Validates eagerly: a bad worker count, schedule name, chunk size, or
+    pool name raises here, at construction, instead of failing deep
+    inside ``make_chunks`` mid-run.
     """
 
     def __init__(
@@ -42,6 +54,8 @@ class ParallelConfig:
         num_workers: int | None = None,
         schedule: str = "dynamic",
         chunk_size: int = 256,
+        pool: str = "fork",
+        mp_context: str = "spawn",
     ):
         if num_workers is not None and num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -51,14 +65,19 @@ class ParallelConfig:
             )
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if pool not in POOLS:
+            raise ValueError(f"unknown pool {pool!r}; use {'|'.join(POOLS)}")
         self.num_workers = num_workers or max(1, (os.cpu_count() or 2) - 1)
         self.schedule = schedule
         self.chunk_size = chunk_size
+        self.pool = pool
+        self.mp_context = mp_context
 
     def __repr__(self) -> str:
         return (
             f"ParallelConfig(num_workers={self.num_workers}, "
-            f"schedule={self.schedule!r}, chunk_size={self.chunk_size})"
+            f"schedule={self.schedule!r}, chunk_size={self.chunk_size}, "
+            f"pool={self.pool!r})"
         )
 
 

@@ -1,0 +1,322 @@
+"""Zero-copy CSR graph sharing via named POSIX shared memory.
+
+The paper's GPU pipeline keeps the CSR graph *resident* on the device
+across kernel launches; all per-call traffic is work descriptors and
+partial sums. This module is the CPU analogue for the persistent worker
+pool (:mod:`repro.parallel.workerpool`): the parent exports a
+:class:`~repro.graph.csr.CSRGraph`'s ``rowptr``/``colidx`` arrays into
+named ``multiprocessing.shared_memory`` segments exactly once, and every
+worker process attaches the same physical pages read-only — no pickling,
+no copy-on-write forking, spawn-safe on every platform.
+
+Exports are keyed by :meth:`CSRGraph.fingerprint` and refcounted: the
+:class:`GraphRegistry` pre-exports on load and releases on evict, the
+pool backend piggybacks a weakref-tied export for ad-hoc graphs, and a
+segment is unlinked only when its last owner releases it (plus an
+``atexit`` sweep so nothing outlives the process).
+
+Worker side: :func:`attach_graph` maps the segments and rebuilds a
+``CSRGraph`` whose arrays are views over the shared buffer
+(``validate=False`` — the exporter already held a valid graph). Attached
+segments are cached per fingerprint so repeated calls on a resident
+graph cost nothing.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import obs
+from ..graph.csr import CSRGraph, INDEX_DTYPE
+
+try:  # pragma: no cover - stdlib everywhere we run, but stay importable
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover
+    _shm = None
+
+__all__ = [
+    "GraphExport",
+    "ShmManager",
+    "shm_available",
+    "default_manager",
+    "attach_graph",
+    "detach_all",
+]
+
+_ITEMSIZE = np.dtype(INDEX_DTYPE).itemsize
+
+
+def shm_available() -> bool:
+    """True when named shared memory is usable on this platform."""
+    return _shm is not None
+
+
+@dataclass(frozen=True)
+class GraphExport:
+    """Picklable descriptor of one exported graph (what workers receive)."""
+
+    fingerprint: str
+    num_vertices: int
+    rowptr_name: str
+    colidx_name: str
+    rowptr_len: int
+    colidx_len: int
+
+    @property
+    def nbytes(self) -> int:
+        return (self.rowptr_len + self.colidx_len) * _ITEMSIZE
+
+
+class _Segment:
+    """Parent-side state for one exported graph: segments + refcount."""
+
+    __slots__ = ("export", "rowptr_shm", "colidx_shm", "refs")
+
+    def __init__(self, export: GraphExport, rowptr_shm, colidx_shm):
+        self.export = export
+        self.rowptr_shm = rowptr_shm
+        self.colidx_shm = colidx_shm
+        self.refs = 1
+
+
+def _new_segment(tag: str, arr: np.ndarray):
+    """Create one named segment holding ``arr`` (size >= 1, names unique)."""
+    name = f"rp{os.getpid():x}-{tag}-{secrets.token_hex(4)}"
+    seg = _shm.SharedMemory(name=name, create=True, size=max(1, arr.nbytes))
+    if arr.nbytes:
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        view[:] = arr
+    return seg
+
+
+class ShmManager:
+    """Refcounted exporter of CSR graphs into named shared memory.
+
+    ``export``/``release`` are the explicit pair (the registry's
+    load/evict lifecycle); :meth:`ensure` ties one export to the *graph
+    object's* lifetime via ``weakref.finalize`` — the pool backend's
+    path for graphs nobody registered. Both share one refcount per
+    fingerprint, so a graph that is registered *and* counted on keeps
+    its segments until every owner lets go.
+    """
+
+    def __init__(self):
+        # RLock: weakref finalizers (``_auto_release``) can fire from a GC
+        # triggered while this thread already holds the lock.
+        self._lock = threading.RLock()
+        self._segments: dict[str, _Segment] = {}
+        # id(graph) -> (fingerprint, finalizer) for weakref-tied exports
+        self._auto: dict[int, tuple[str, weakref.finalize]] = {}
+
+    # ------------------------------------------------------------------
+    def export(self, graph: CSRGraph) -> GraphExport:
+        """Export (or re-reference) ``graph``; returns the descriptor."""
+        if _shm is None:  # pragma: no cover - platform gate
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        fp = graph.fingerprint()
+        with self._lock:
+            seg = self._segments.get(fp)
+            if seg is not None:
+                seg.refs += 1
+                return seg.export
+        # copy outside the lock — O(n + m), done once per graph content
+        rowptr_shm = _new_segment(fp[:12] + "r", graph.rowptr)
+        try:
+            colidx_shm = _new_segment(fp[:12] + "c", graph.colidx)
+        except BaseException:
+            rowptr_shm.close()
+            rowptr_shm.unlink()
+            raise
+        export = GraphExport(
+            fingerprint=fp,
+            num_vertices=graph.num_vertices,
+            rowptr_name=rowptr_shm.name,
+            colidx_name=colidx_shm.name,
+            rowptr_len=len(graph.rowptr),
+            colidx_len=len(graph.colidx),
+        )
+        with self._lock:
+            racing = self._segments.get(fp)
+            if racing is not None:  # lost an export race: keep the winner's
+                racing.refs += 1
+                export, lost_race = racing.export, True
+            else:
+                self._segments[fp] = _Segment(export, rowptr_shm, colidx_shm)
+                lost_race = False
+        if lost_race:
+            _destroy(rowptr_shm)
+            _destroy(colidx_shm)
+        self._gauge()
+        return export
+
+    def release(self, fingerprint: str) -> bool:
+        """Drop one reference; unlink the segments on the last one."""
+        with self._lock:
+            seg = self._segments.get(fingerprint)
+            if seg is None:
+                return False
+            seg.refs -= 1
+            if seg.refs > 0:
+                return False
+            del self._segments[fingerprint]
+        _destroy(seg.rowptr_shm)
+        _destroy(seg.colidx_shm)
+        self._gauge()
+        return True
+
+    def ensure(self, graph: CSRGraph) -> GraphExport:
+        """Export tied to ``graph``'s lifetime (auto-released on GC)."""
+        key = id(graph)
+        with self._lock:
+            slot = self._auto.get(key)
+            if slot is not None and slot[1].alive:
+                seg = self._segments.get(slot[0])
+                if seg is not None:
+                    return seg.export
+        export = self.export(graph)
+        fin = weakref.finalize(graph, self._auto_release, export.fingerprint, key)
+        with self._lock:
+            self._auto[key] = (export.fingerprint, fin)
+        return export
+
+    def _auto_release(self, fingerprint: str, key: int) -> None:
+        with self._lock:
+            self._auto.pop(key, None)
+        self.release(fingerprint)
+
+    # ------------------------------------------------------------------
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(s.export.nbytes for s in self._segments.values())
+
+    def exported(self) -> list[str]:
+        with self._lock:
+            return sorted(self._segments)
+
+    def refcount(self, fingerprint: str) -> int:
+        with self._lock:
+            seg = self._segments.get(fingerprint)
+            return seg.refs if seg is not None else 0
+
+    def release_all(self) -> None:
+        """Unlink every segment regardless of refcount (atexit sweep)."""
+        with self._lock:
+            segments = list(self._segments.values())
+            self._segments.clear()
+            for _, fin in self._auto.values():
+                fin.detach()
+            self._auto.clear()
+        for seg in segments:
+            _destroy(seg.rowptr_shm)
+            _destroy(seg.colidx_shm)
+        self._gauge()
+
+    def _gauge(self) -> None:
+        obs.gauge_set("repro_shm_bytes", self.total_bytes())
+
+
+def _destroy(seg) -> None:
+    try:
+        seg.close()
+        seg.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+        pass
+
+
+# ----------------------------------------------------------------------
+# process-wide default manager (what the registry and pool backend use)
+# ----------------------------------------------------------------------
+_default: ShmManager | None = None
+_default_lock = threading.Lock()
+
+
+def default_manager() -> ShmManager:
+    global _default
+    if _default is None:
+        with _default_lock:
+            if _default is None:
+                _default = ShmManager()
+                atexit.register(_default.release_all)
+    return _default
+
+
+# ----------------------------------------------------------------------
+# worker (attach) side
+# ----------------------------------------------------------------------
+# fingerprint -> (CSRGraph view, SharedMemory handles). Bounded: workers
+# serve few resident graphs; evicting the LRU closes its segments.
+_ATTACH_CACHE_MAX = 8
+_attached: OrderedDict[str, tuple[CSRGraph, tuple]] = OrderedDict()
+_attach_lock = threading.Lock()
+
+
+def _attach_segment(name: str):
+    # CPython < 3.13 registers *attached* segments with the resource
+    # tracker too (bpo-38119). The tracker cache is shared across the
+    # process tree and is a set, so unregistering after the fact would
+    # erase the creator's registration and make the creator's later
+    # unlink a tracker error. Instead, suppress registration for the
+    # duration of the attach: the creating process owns cleanup.
+    try:  # pragma: no cover - depends on resource_tracker internals
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shm(name, rtype):
+            if rtype != "shared_memory":
+                original(name, rtype)
+
+        resource_tracker.register = _skip_shm
+        try:
+            return _shm.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+    except ImportError:
+        return _shm.SharedMemory(name=name)
+
+
+def attach_graph(export: GraphExport) -> CSRGraph:
+    """Map an exported graph read-only; cached per fingerprint."""
+    if _shm is None:  # pragma: no cover - platform gate
+        raise RuntimeError("multiprocessing.shared_memory unavailable")
+    with _attach_lock:
+        hit = _attached.get(export.fingerprint)
+        if hit is not None:
+            _attached.move_to_end(export.fingerprint)
+            return hit[0]
+    rowptr_shm = _attach_segment(export.rowptr_name)
+    colidx_shm = _attach_segment(export.colidx_name)
+    rowptr = np.ndarray((export.rowptr_len,), dtype=INDEX_DTYPE, buffer=rowptr_shm.buf)
+    colidx = np.ndarray((export.colidx_len,), dtype=INDEX_DTYPE, buffer=colidx_shm.buf)
+    graph = CSRGraph(rowptr, colidx, validate=False)
+    with _attach_lock:
+        _attached[export.fingerprint] = (graph, (rowptr_shm, colidx_shm))
+        while len(_attached) > _ATTACH_CACHE_MAX:
+            _, (_, handles) = _attached.popitem(last=False)
+            for seg in handles:
+                try:
+                    seg.close()
+                except BufferError:  # a view still alive somewhere
+                    pass
+    return graph
+
+
+def detach_all() -> None:
+    """Drop every cached attachment (worker shutdown / tests)."""
+    with _attach_lock:
+        entries = list(_attached.values())
+        _attached.clear()
+    for _, handles in entries:
+        for seg in handles:
+            try:
+                seg.close()
+            except BufferError:
+                pass

@@ -6,7 +6,9 @@ the amortization automatic for a *serving* workload. It holds an LRU
 cache of compiled :class:`~repro.core.plan.CountingPlan` artifacts keyed
 by :func:`~repro.core.plan.plan_key` (canonical pattern form + config),
 routes each call to the right execution substrate (specialized engine,
-serial/batch backend, or fork pool), and reports per-call
+serial/batch backend, fork pool, or the persistent spawn pool), owns the
+persistent pool's lifecycle (lazy start on first use, :meth:`Runtime.close`,
+``atexit``), and reports per-call
 :class:`~repro.core.engine.ExecutionStats` — compile vs. match vs.
 Venn/fc time, batch flushes, and plan-cache hit/miss counters — on
 ``CountResult.stats``.
@@ -210,6 +212,19 @@ class Runtime:
         with self._lock:
             self._plans.clear()
 
+    def close(self) -> None:
+        """Release execution resources owned through this runtime.
+
+        Shuts down the process-wide persistent worker pool (counts with
+        ``ParallelConfig(pool="persistent")`` lazily restart it). The
+        plan cache is left intact — plans are cheap, workers are not.
+        An ``atexit`` hook performs the same sweep, so calling this is
+        only needed to reclaim workers early (e.g. between test suites).
+        """
+        from .parallel.workerpool import shutdown_default_pool
+
+        shutdown_default_pool()
+
     # ------------------------------------------------------------------
     # counting
     # ------------------------------------------------------------------
@@ -344,7 +359,9 @@ class Runtime:
             partial = backend.run(plan, graph, start_vertices=start_vertices)
         execute_s = time.perf_counter() - t0
         value = plan.normalize(partial.sigma, context="parallel count" if parallel else "count")
-        if parallel is not None:
+        if parallel is not None and getattr(parallel, "pool", "fork") == "persistent":
+            engine_str = f"fringe-pool(x{parallel.num_workers},{parallel.schedule})"
+        elif parallel is not None:
             engine_str = f"fringe-parallel(x{parallel.num_workers},{parallel.schedule})"
         elif engine == "frontier":
             engine_str = f"fringe-frontier(max_rows={cfg.max_frontier_rows})"

@@ -11,6 +11,13 @@ the service's result cache learns to drop entries for the old content
 (the cache is also keyed by content fingerprint, so stale hits are
 impossible even between the event and the drop — the listener reclaims
 memory and keeps hit-ratio metrics honest).
+
+When the persistent worker pool is in play, the registry also owns the
+graph's shared-memory residency: ``register`` pre-exports the CSR arrays
+into named segments (so the first count on a freshly loaded graph pays
+no export cost) and ``evict``/replace releases the old content's
+reference, letting :mod:`repro.parallel.shm` unlink the segments once
+nobody else holds them.
 """
 
 from __future__ import annotations
@@ -57,12 +64,35 @@ Listener = Callable[[str, GraphEntry | None, GraphEntry | None], None]
 
 
 class GraphRegistry:
-    """Thread-safe name → :class:`GraphEntry` map with a load lifecycle."""
+    """Thread-safe name → :class:`GraphEntry` map with a load lifecycle.
 
-    def __init__(self):
+    ``export_shm=True`` (the default where the platform supports it)
+    additionally keeps every registered graph exported in named shared
+    memory for the persistent worker pool; the reference is released on
+    evict/replace.
+    """
+
+    def __init__(self, *, export_shm: bool | None = None):
         self._lock = threading.Lock()
         self._entries: dict[str, GraphEntry] = {}
         self._listeners: list[Listener] = []
+        if export_shm is None:
+            from ..parallel.shm import shm_available
+
+            export_shm = shm_available()
+        self._export_shm = bool(export_shm)
+
+    def _shm_export(self, graph: CSRGraph) -> None:
+        if self._export_shm:
+            from ..parallel.shm import default_manager
+
+            default_manager().export(graph)
+
+    def _shm_release(self, fingerprint: str) -> None:
+        if self._export_shm:
+            from ..parallel.shm import default_manager
+
+            default_manager().release(fingerprint)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -88,10 +118,13 @@ class GraphRegistry:
             loaded_at=time.time(),
             load_s=load_s if load_s is not None else time.perf_counter() - t0,
         )
+        self._shm_export(graph)
         with self._lock:
             old = self._entries.get(name)
             self._entries[name] = entry
             listeners = list(self._listeners)
+        if old is not None:
+            self._shm_release(old.fingerprint)
         for listener in listeners:
             listener(name, old, entry)
         return entry
@@ -126,6 +159,7 @@ class GraphRegistry:
             listeners = list(self._listeners)
         if entry is None:
             raise ServeError(UNKNOWN_GRAPH, f"no graph named {name!r}")
+        self._shm_release(entry.fingerprint)
         for listener in listeners:
             listener(name, entry, None)
         return entry

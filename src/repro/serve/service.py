@@ -68,6 +68,11 @@ class ServiceConfig:
     ``batch_window_s`` lets the batcher linger that long after the first
     dequeue to gather a fuller batch (0 = drain opportunistically only);
     ``executor_workers`` bounds concurrently executing batches;
+    ``executor`` picks where the CPU-bound count itself runs —
+    ``"thread"`` keeps it on the service's thread pool (GIL-bound),
+    ``"pool"`` dispatches through the persistent shared-memory
+    :class:`~repro.parallel.workerpool.WorkerPool` with ``pool_workers``
+    processes (None = the parallel layer's default);
     ``result_cache_size``/``result_cache_ttl_s`` shape the LRU+TTL result
     cache (size 0 disables it); ``default_timeout_s`` is the deadline for
     requests that do not carry their own (None = no deadline).
@@ -77,6 +82,8 @@ class ServiceConfig:
     max_batch: int = 16
     batch_window_s: float = 0.0
     executor_workers: int = 2
+    executor: str = "thread"
+    pool_workers: int | None = None
     result_cache_size: int = 1024
     result_cache_ttl_s: float = 300.0
     default_timeout_s: float | None = 30.0
@@ -88,6 +95,10 @@ class ServiceConfig:
             raise ValueError("max_batch must be positive")
         if self.executor_workers < 1:
             raise ValueError("executor_workers must be positive")
+        if self.executor not in ("thread", "pool"):
+            raise ValueError(f"executor must be 'thread' or 'pool', got {self.executor!r}")
+        if self.pool_workers is not None and self.pool_workers < 1:
+            raise ValueError("pool_workers must be positive")
         if self.result_cache_size < 0:
             raise ValueError("result_cache_size must be >= 0")
         if self.batch_window_s < 0:
@@ -146,6 +157,17 @@ class CountingService:
         # threading lock because executor threads populate it.
         self._cache: OrderedDict[tuple, tuple[float, CountResponse]] = OrderedDict()
         self._cache_lock = threading.Lock()
+        # executor="pool": CPU-bound counts leave the thread pool and run
+        # on the persistent spawn-context WorkerPool (true multi-core;
+        # the executor thread merely dispatches and waits).
+        if self.config.executor == "pool":
+            from ..parallel import ParallelConfig
+
+            self._parallel: "ParallelConfig | None" = ParallelConfig(
+                num_workers=self.config.pool_workers, pool="persistent"
+            )
+        else:
+            self._parallel = None
         registry.subscribe(self._on_registry_event)
 
     # ------------------------------------------------------------------
@@ -342,6 +364,7 @@ class CountingService:
                 entry.pattern,
                 engine=entry.request.engine,
                 config=entry.config,
+                parallel=self._parallel,
             )
             response = CountResponse(
                 graph=entry.gentry.name,

@@ -5,6 +5,7 @@ import pytest
 
 from repro.graph.csr import CSRGraph
 from repro.graph import generators as gen
+from repro.patterns import catalog
 
 
 class TestConstruction:
@@ -115,6 +116,21 @@ class TestTransforms:
         assert r.degree(0) == 3
         assert r.num_edges == g.num_edges
         assert sorted(r.degrees.tolist()) == sorted(g.degrees.tolist())
+
+    @pytest.mark.parametrize(
+        "name,pattern",
+        sorted(catalog.fig1_patterns().items()),
+        ids=sorted(catalog.fig1_patterns()),
+    )
+    def test_counts_invariant_under_degree_relabeling(self, name, pattern):
+        """Degree relabeling is a pure renumbering: every catalog pattern
+        count must be identical on the relabeled graph (the contract the
+        CLI ``--relabel-degree`` preprocessing flag relies on)."""
+        from repro import count_subgraphs
+
+        g = gen.barabasi_albert(120, 4, seed=17)
+        r = g.relabel_by_degree()
+        assert count_subgraphs(r, pattern).count == count_subgraphs(g, pattern).count
 
     def test_networkx_round_trip(self):
         g = gen.barabasi_albert(30, 3, seed=1)

@@ -129,6 +129,29 @@ class TestCLI:
         assert cli_main(["count", "--graph", str(path), "--pattern", "triangle"]) == 0
         assert "count    : 20" in capsys.readouterr().out  # C(6,3)
 
+    def test_count_relabel_degree_invariant(self, capsys):
+        args = ["count", "--dataset", "internet", "--scale", "tiny", "--pattern", "diamond"]
+        assert cli_main(args) == 0
+        plain = capsys.readouterr().out
+        assert cli_main(args + ["--relabel-degree"]) == 0
+        relabeled = capsys.readouterr().out
+        line = next(ln for ln in plain.splitlines() if ln.startswith("count"))
+        assert line in relabeled  # identical count on the renumbered graph
+
+    def test_count_persistent_pool(self, capsys):
+        assert cli_main([
+            "count", "--dataset", "internet", "--scale", "tiny",
+            "--pattern", "triangle", "--workers", "2", "--pool", "persistent",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert cli_main([
+            "count", "--dataset", "internet", "--scale", "tiny", "--pattern", "triangle",
+        ]) == 0
+        serial = capsys.readouterr().out
+        pool_count = next(ln for ln in out.splitlines() if ln.startswith("count"))
+        serial_count = next(ln for ln in serial.splitlines() if ln.startswith("count"))
+        assert pool_count == serial_count
+
     def test_decompose(self, capsys):
         assert cli_main(["decompose", "--pattern", "fig4"]) == 0
         out = capsys.readouterr().out

@@ -69,3 +69,102 @@ class TestParallelCount:
     def test_default_config_uses_cpu_count(self):
         cfg = ParallelConfig()
         assert cfg.num_workers >= 1
+
+    def test_pool_validation(self):
+        assert ParallelConfig(pool="fork").pool == "fork"
+        assert ParallelConfig(pool="persistent").pool == "persistent"
+        assert "persistent" in repr(ParallelConfig(pool="persistent"))
+        with pytest.raises(ValueError):
+            ParallelConfig(pool="magic")
+
+
+class TestSelectBackend:
+    """The inner backend must always be forwarded to the pool backends."""
+
+    def test_inner_forwarded_to_fork_pool(self):
+        from repro.core.backends import (
+            BatchBackend,
+            MultiprocessBackend,
+            SerialBackend,
+            select_backend,
+        )
+        from repro.core.engine import EngineConfig
+
+        be = select_backend(EngineConfig(), ParallelConfig(num_workers=2))
+        assert isinstance(be, MultiprocessBackend)
+        assert isinstance(be.inner, BatchBackend)
+        # a non-frontier inner override is honored, not silently dropped
+        be = select_backend(EngineConfig(fc_impl="recursive"), ParallelConfig(num_workers=2))
+        assert isinstance(be.inner, SerialBackend)
+
+    def test_frontier_inner_forwarded(self):
+        from repro.core.backends import FrontierBackend, MultiprocessBackend, select_backend
+        from repro.core.engine import EngineConfig
+
+        be = select_backend(EngineConfig(), ParallelConfig(num_workers=2), engine="frontier")
+        assert isinstance(be, MultiprocessBackend)
+        assert isinstance(be.inner, FrontierBackend)
+
+    def test_persistent_pool_selected(self):
+        from repro.core.backends import BatchBackend, PoolBackend, select_backend
+        from repro.core.engine import EngineConfig
+
+        be = select_backend(
+            EngineConfig(), ParallelConfig(num_workers=2, pool="persistent")
+        )
+        assert isinstance(be, PoolBackend)
+        assert isinstance(be.inner, BatchBackend)
+        assert be.mp_context == "spawn"
+
+    def test_single_worker_returns_inner(self):
+        from repro.core.backends import BatchBackend, select_backend
+        from repro.core.engine import EngineConfig
+
+        be = select_backend(EngineConfig(), ParallelConfig(num_workers=1))
+        assert isinstance(be, BatchBackend)
+
+
+class TestSharedStateRace:
+    """Regression: concurrent fork-pool counts must not clobber _SHARED.
+
+    Before the module lock, two threads interleaving populate → fork →
+    clear could fork workers that saw the *other* call's plan/graph (or
+    an empty dict). With the lock the calls serialize and every result
+    is exact.
+    """
+
+    def test_concurrent_fork_counts_are_exact(self):
+        g1 = gen.barabasi_albert(200, 4, seed=31)
+        g2 = gen.barabasi_albert(260, 3, seed=32)
+        p1, p2 = catalog.diamond(), catalog.paw()
+        expect1 = count_subgraphs(g1, p1).count
+        expect2 = count_subgraphs(g2, p2).count
+        errors: list = []
+
+        def hammer(graph, pattern, expect):
+            try:
+                for _ in range(3):
+                    res = parallel_count(
+                        graph, pattern,
+                        parallel=ParallelConfig(num_workers=2, chunk_size=64),
+                    )
+                    assert res.count == expect, f"{res.count} != {expect}"
+            except BaseException as exc:  # noqa: BLE001 - surface on main thread
+                errors.append(exc)
+
+        import threading
+
+        threads = [
+            threading.Thread(target=hammer, args=(g1, p1, expect1)),
+            threading.Thread(target=hammer, args=(g2, p2, expect2)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        assert not errors, errors
+
+    def test_shared_lock_exists(self):
+        from repro.core import backends
+
+        assert isinstance(backends._SHARED_LOCK, type(backends.threading.Lock()))

@@ -404,3 +404,51 @@ class TestBatching:
         responses = run(scenario())
         assert all(isinstance(r, CountResponse) for r in responses)
         assert max(r.batch_size for r in responses) == 2
+
+
+# ----------------------------------------------------------------------
+# persistent-pool executor
+# ----------------------------------------------------------------------
+class TestPoolExecutor:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(executor="rocket")
+        with pytest.raises(ValueError):
+            ServiceConfig(executor="pool", pool_workers=0)
+        assert ServiceConfig(executor="pool", pool_workers=2).executor == "pool"
+
+    def test_thread_executor_has_no_parallel(self):
+        service = CountingService(GraphRegistry())
+        assert service._parallel is None
+
+    def test_pool_executor_counts_match_serial(self):
+        from repro.parallel.shm import shm_available
+        from repro.parallel.workerpool import shutdown_default_pool
+
+        if not shm_available():
+            pytest.skip("no shared memory")
+        graph = gen.barabasi_albert(400, 4, seed=6)
+        expected = Runtime().count(graph, parse_pattern("diamond")).count
+
+        async def scenario():
+            registry = GraphRegistry()
+            registry.register("g", graph)
+            config = ServiceConfig(executor="pool", pool_workers=2)
+            service = await started_service(registry, config=config)
+            try:
+                responses = await asyncio.gather(*[
+                    service.submit(CountRequest(graph="g", pattern="diamond",
+                                                use_cache=False))
+                    for _ in range(4)
+                ])
+            finally:
+                await service.stop()
+            return responses
+
+        try:
+            responses = run(scenario())
+        finally:
+            shutdown_default_pool()
+        assert all(isinstance(r, CountResponse) for r in responses)
+        assert all(r.count == expected for r in responses)
+        assert any("fringe-pool(x2" in r.engine for r in responses)

@@ -1,0 +1,142 @@
+"""Tests for zero-copy graph sharing (repro.parallel.shm)."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro import count_subgraphs
+from repro.graph import generators as gen
+from repro.parallel.shm import (
+    GraphExport,
+    ShmManager,
+    attach_graph,
+    default_manager,
+    detach_all,
+    shm_available,
+)
+from repro.patterns import catalog
+
+pytestmark = pytest.mark.skipif(not shm_available(), reason="no shared memory")
+
+
+@pytest.fixture()
+def manager():
+    mgr = ShmManager()
+    yield mgr
+    mgr.release_all()
+    detach_all()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gen.barabasi_albert(200, 4, seed=3)
+
+
+class TestExportAttach:
+    def test_roundtrip_arrays(self, manager, graph):
+        export = manager.export(graph)
+        assert isinstance(export, GraphExport)
+        assert export.fingerprint == graph.fingerprint()
+        attached = attach_graph(export)
+        assert np.array_equal(attached.rowptr, graph.rowptr)
+        assert np.array_equal(attached.colidx, graph.colidx)
+        assert attached.fingerprint() == graph.fingerprint()
+
+    def test_attached_graph_counts_identically(self, manager, graph):
+        export = manager.export(graph)
+        attached = attach_graph(export)
+        pat = catalog.diamond()
+        assert count_subgraphs(attached, pat).count == count_subgraphs(graph, pat).count
+
+    def test_attach_cache_hits(self, manager, graph):
+        export = manager.export(graph)
+        assert attach_graph(export) is attach_graph(export)
+
+    def test_nbytes(self, manager, graph):
+        export = manager.export(graph)
+        assert export.nbytes == graph.rowptr.nbytes + graph.colidx.nbytes
+        assert manager.total_bytes() == export.nbytes
+
+    def test_empty_graph_exports(self, manager):
+        from repro.graph.csr import CSRGraph
+
+        empty = CSRGraph.from_edges([], num_vertices=3)
+        export = manager.export(empty)
+        attached = attach_graph(export)
+        assert attached.num_vertices == 3
+        assert attached.num_edges == 0
+
+
+class TestRefcounting:
+    def test_export_is_refcounted(self, manager, graph):
+        fp = graph.fingerprint()
+        e1 = manager.export(graph)
+        e2 = manager.export(graph)
+        assert e1 == e2  # same segments, not a second copy
+        assert manager.refcount(fp) == 2
+        assert not manager.release(fp)
+        assert manager.refcount(fp) == 1
+        assert manager.release(fp)  # last ref unlinks
+        assert manager.refcount(fp) == 0
+        assert manager.exported() == []
+
+    def test_release_unknown_fingerprint(self, manager):
+        assert not manager.release("deadbeef")
+
+    def test_ensure_ties_to_graph_lifetime(self, manager):
+        g = gen.barabasi_albert(120, 3, seed=9)
+        fp = g.fingerprint()
+        manager.ensure(g)
+        assert manager.refcount(fp) == 1
+        # re-ensure on the same object does not double-count
+        manager.ensure(g)
+        assert manager.refcount(fp) == 1
+        del g
+        gc.collect()
+        assert manager.refcount(fp) == 0
+
+    def test_release_all_sweeps(self, manager, graph):
+        manager.export(graph)
+        manager.export(graph)
+        manager.release_all()
+        assert manager.exported() == []
+        assert manager.total_bytes() == 0
+
+
+class TestRegistryWiring:
+    def test_register_exports_and_evict_releases(self, graph):
+        from repro.serve.registry import GraphRegistry
+
+        mgr = default_manager()
+        fp = graph.fingerprint()
+        before = mgr.refcount(fp)
+        registry = GraphRegistry(export_shm=True)
+        registry.register("g", graph)
+        assert mgr.refcount(fp) == before + 1
+        registry.evict("g")
+        assert mgr.refcount(fp) == before
+
+    def test_replace_releases_old_content(self, graph):
+        from repro.serve.registry import GraphRegistry
+
+        other = gen.barabasi_albert(150, 3, seed=21)
+        mgr = default_manager()
+        registry = GraphRegistry(export_shm=True)
+        registry.register("g", graph)
+        registry.register("g", other)  # replacement drops the old export
+        assert mgr.refcount(graph.fingerprint()) == 0
+        assert mgr.refcount(other.fingerprint()) == 1
+        registry.evict("g")
+        assert mgr.refcount(other.fingerprint()) == 0
+
+    def test_export_disabled(self, graph):
+        from repro.serve.registry import GraphRegistry
+
+        mgr = default_manager()
+        fp = graph.fingerprint()
+        before = mgr.refcount(fp)
+        registry = GraphRegistry(export_shm=False)
+        registry.register("g", graph)
+        assert mgr.refcount(fp) == before
+        registry.evict("g")
